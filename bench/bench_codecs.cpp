@@ -1,0 +1,143 @@
+// Timing benchmarks (google-benchmark) for the incompressibility machinery:
+// E(G) encoding, enumerative ranking, and the proof codecs.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/optrt.hpp"
+
+namespace {
+
+using namespace optrt;
+
+const graph::Graph& shared_graph(std::size_t n) {
+  static std::map<std::size_t, graph::Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    graph::Rng rng(n + 2);
+    it = cache.emplace(n, core::certified_random_graph(n, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_EncodeEG(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::encode(g).size());
+  }
+}
+BENCHMARK(BM_EncodeEG)->Arg(128)->Arg(256);
+
+void BM_EnumerativeRank(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(5);
+  bitio::BitVector bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits.set(i, rng() & 1u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        incompress::rank_fixed_weight(bits).bit_length());
+  }
+}
+BENCHMARK(BM_EnumerativeRank)->Arg(127)->Arg(255)->Arg(511);
+
+void BM_EnumerativeUnrank(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::Rng rng(6);
+  bitio::BitVector bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits.set(i, rng() & 1u);
+  const auto rank = incompress::rank_fixed_weight(bits);
+  const std::size_t k = bits.popcount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        incompress::unrank_fixed_weight(n, k, rank).size());
+  }
+}
+BENCHMARK(BM_EnumerativeUnrank)->Arg(127)->Arg(255);
+
+void BM_Lemma1Codec(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto d = incompress::lemma1_encode(g, 0);
+    benchmark::DoNotOptimize(
+        incompress::lemma1_decode(d.bits, g.node_count()).edge_count());
+  }
+}
+BENCHMARK(BM_Lemma1Codec)->Arg(96)->Arg(192);
+
+void BM_Theorem6Codec(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = incompress::theorem6_encode(g, 0);
+    benchmark::DoNotOptimize(
+        incompress::theorem6_decode(r.description.bits, g.node_count())
+            .edge_count());
+  }
+}
+BENCHMARK(BM_Theorem6Codec)->Arg(96)->Arg(192);
+
+void BM_Theorem10Codec(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = incompress::theorem10_encode(g, 0);
+    benchmark::DoNotOptimize(
+        incompress::theorem10_decode(r.description.bits, g.node_count())
+            .edge_count());
+  }
+}
+BENCHMARK(BM_Theorem10Codec)->Arg(96);
+
+void BM_LZ78Estimator(benchmark::State& state) {
+  const auto& g = shared_graph(128);
+  const bitio::BitVector eg = graph::encode(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitio::lz78_coded_bits(eg));
+  }
+}
+BENCHMARK(BM_LZ78Estimator);
+
+void BM_ArithmeticCoder(benchmark::State& state) {
+  const auto& g = shared_graph(128);
+  const bitio::BitVector eg = graph::encode(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitio::arithmetic_coded_bits(eg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(eg.size() / 8));
+}
+BENCHMARK(BM_ArithmeticCoder);
+
+void BM_GraphCompressor(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto code = incompress::compress_graph(g);
+    benchmark::DoNotOptimize(
+        incompress::decompress_graph(code, g.node_count()).edge_count());
+  }
+}
+BENCHMARK(BM_GraphCompressor)->Arg(96)->Arg(192);
+
+void BM_PermutationRank(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> perm(d);
+  for (std::uint32_t i = 0; i < d; ++i) perm[i] = i;
+  graph::Rng rng(9);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        incompress::rank_permutation(perm).bit_length());
+  }
+}
+BENCHMARK(BM_PermutationRank)->Arg(64)->Arg(256);
+
+void BM_DistributedConstruction(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::distributed_compact_construction(g).message_bits);
+  }
+}
+BENCHMARK(BM_DistributedConstruction)->Arg(96)->Arg(192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

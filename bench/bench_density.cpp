@@ -1,0 +1,66 @@
+// Sensitivity analysis (the abstract's closing point: "the sensitivity of
+// such bounds to the model under consideration" — and to the graph class):
+// sweep the edge density p of G(n, p) and measure where the Lemma 1–3
+// structure, and with it every construction of the paper, holds.
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+  const std::size_t n = 128;
+  const std::size_t trials = 8;
+
+  std::cout << "== Density sweep: where 'almost all graphs' structure lives "
+               "(n=" << n << ", " << trials << " trials/p) ==\n\n";
+
+  core::TextTable table({"p", "certified", "diam<=2", "mean compact bits",
+                         "mean landmark bits", "winner"});
+
+  for (double p : {0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.90}) {
+    std::size_t certified = 0, diam2 = 0;
+    double compact_bits = 0, landmark_bits = 0;
+    std::size_t compact_runs = 0, landmark_runs = 0;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      graph::Rng rng(seed * 977 + static_cast<std::uint64_t>(p * 1000));
+      const graph::Graph g = graph::random_gnp(n, p, rng);
+      const auto cert = graph::certify(g);
+      if (cert.ok()) ++certified;
+      if (cert.diameter_two) ++diam2;
+      try {
+        const schemes::CompactDiam2Scheme scheme(g, {});
+        compact_bits += static_cast<double>(scheme.space().total_bits());
+        ++compact_runs;
+      } catch (const schemes::SchemeInapplicable&) {
+      }
+      try {
+        const schemes::LandmarkScheme scheme(g);
+        landmark_bits += static_cast<double>(scheme.space().total_bits());
+        ++landmark_runs;
+      } catch (const schemes::SchemeInapplicable&) {
+      }
+    }
+    const double mc =
+        compact_runs ? compact_bits / static_cast<double>(compact_runs) : 0;
+    const double ml =
+        landmark_runs ? landmark_bits / static_cast<double>(landmark_runs) : 0;
+    const char* winner = "-";
+    if (compact_runs == trials && (ml == 0 || mc <= ml)) winner = "compact (Thm 1)";
+    else if (landmark_runs > 0 && compact_runs < trials) winner = "landmark";
+    else if (ml > 0 && mc > ml) winner = "landmark";
+    table.add_row({core::TextTable::num(p, 2),
+                   std::to_string(certified) + "/" + std::to_string(trials),
+                   std::to_string(diam2) + "/" + std::to_string(trials),
+                   core::TextTable::num(mc, 0), core::TextTable::num(ml, 0),
+                   winner});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape check: the Lemma 1–3 certificate (and hence every bound "
+         "of the paper)\nholds only in a density band around p = 1/2 — "
+         "degree concentration fails as p\nleaves [~0.3, ~0.7] and "
+         "diameter-2 fails below p ≈ sqrt(2 ln n / n). Outside\nthe band "
+         "the general landmark scheme takes over.\n";
+  return 0;
+}

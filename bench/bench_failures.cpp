@@ -1,0 +1,63 @@
+// §1's case for full-information schemes, quantified: sweep the number of
+// failed links and compare delivery rates of the single-path Theorem 1
+// scheme against the full-information scheme (which may take any
+// alternative shortest path). The n³/4 bits of Theorem 10 buy exactly this
+// resilience.
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+  const std::size_t n = 96;
+  const std::size_t messages = 3000;
+
+  graph::Rng rng(1501);
+  const graph::Graph g = core::certified_random_graph(n, rng);
+  const schemes::CompactDiam2Scheme compact(g, {});
+  const auto full = schemes::FullInformationScheme::standard(g);
+
+  std::cout << "== Failure sweep: single-path vs full-information (n=" << n
+            << ", |E|=" << g.edge_count() << ", " << messages
+            << " msgs) ==\n\n";
+
+  core::TextTable table({"failed links", "compact delivered",
+                         "full-info delivered", "full-info advantage"});
+
+  graph::Rng traffic_rng(1502);
+  const auto traffic = net::uniform_random(n, messages, traffic_rng);
+
+  for (std::size_t failures : {0u, 32u, 128u, 512u, 1024u}) {
+    // One shared failure set per row.
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> down;
+    graph::Rng frng(1503 + failures);
+    std::uniform_int_distribution<graph::NodeId> pick(
+        0, static_cast<graph::NodeId>(n - 1));
+    while (down.size() < failures) {
+      const graph::NodeId u = pick(frng);
+      const graph::NodeId v = pick(frng);
+      if (u != v && g.has_edge(u, v)) down.emplace_back(u, v);
+    }
+    auto run = [&](const model::RoutingScheme& scheme) {
+      net::Simulator sim(g, scheme);
+      for (const auto& [u, v] : down) sim.fail_link(u, v);
+      for (const auto& [u, v] : traffic) sim.send(u, v);
+      return sim.run().delivered;
+    };
+    const std::size_t c = run(compact);
+    const std::size_t f = run(full);
+    table.add_row({std::to_string(failures),
+                   std::to_string(c) + "/" + std::to_string(messages),
+                   std::to_string(f) + "/" + std::to_string(messages),
+                   "+" + std::to_string(f - c)});
+    if (f < c) return 1;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: the full-information scheme dominates at "
+               "every failure level,\nwith the gap widening as more "
+               "shortest paths break — §1's 'alternative,\nshortest, paths "
+               "… whenever an outgoing link is down', bought at Θ(n³) bits\n"
+               "(Theorem 10 proves that price is unavoidable).\n";
+  return 0;
+}

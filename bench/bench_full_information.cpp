@@ -1,0 +1,44 @@
+// Reproduces Theorem 10 and its matching trivial upper bound: the
+// full-information scheme's measured Θ(n³) size, the codec's implied
+// per-node lower bound ≈ n²/4, and the failure-rerouting capability that
+// motivates paying n³ bits at all.
+#include <iostream>
+#include <vector>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+  const std::vector<std::size_t> ns = {48, 96, 192};
+
+  std::cout << "== Theorem 10: full-information shortest path routing ==\n\n";
+
+  core::TextTable table({"n", "scheme total bits", "trivial bound n^3",
+                         "implied/node", "paper n^2/4", "exactness"});
+  std::vector<double> xs, ys;
+  for (std::size_t n : ns) {
+    graph::Rng rng(n + 31);
+    const graph::Graph g = core::certified_random_graph(n, rng);
+    const auto scheme = schemes::FullInformationScheme::standard(g);
+    const auto check = model::verify_full_information(g, scheme);
+    const auto r = incompress::theorem10_encode(g, 0);
+    const bool round_trip =
+        incompress::theorem10_decode(r.description.bits, n) == g;
+    table.add_row(
+        {std::to_string(n), std::to_string(scheme.space().total_bits()),
+         core::TextTable::num(incompress::trivial_full_information_bound(n), 0),
+         std::to_string(r.implied_function_lower_bound()),
+         core::TextTable::num(incompress::theorem10_per_node_bound(n), 0),
+         check.exact && round_trip ? "exact+round-trip" : "FAILED"});
+    if (!check.exact || !round_trip) return 1;
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(static_cast<double>(scheme.space().total_bits()));
+  }
+  table.print(std::cout);
+  const auto fit = core::fit_power_law(xs, ys);
+  std::cout << "\nfitted total ≈ n^" << core::TextTable::num(fit.exponent, 2)
+            << " (Θ(n³) predicts 3.0). The implied per-node lower bound "
+               "tracks n²/4:\nfull information routing cannot beat the "
+               "trivial table — Theorem 10.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The §1.2 trade-off curve at general depth: Peleg–Upfal-style k-level
+// hierarchies. As k grows, per-node tables shrink (toward Õ(n^{1/k}-sized
+// top tables plus vicinities) while stretch and label length grow — the
+// family of points the paper's Table 1 extremes (k = 1: this paper's
+// Θ(n²); k large: near-linear) interpolate between.
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+
+  std::cout << "== Hierarchy depth sweep (Peleg–Upfal regime) ==\n\n";
+
+  core::TextTable table({"graph", "n", "k", "function bits", "label bits",
+                         "max/port-node bits", "max stretch", "mean stretch"});
+
+  auto run = [&table](const char* family, const graph::Graph& g,
+                      std::size_t k) {
+    schemes::HierarchicalOptions opt;
+    opt.levels = k;
+    const schemes::HierarchicalScheme scheme(g, opt);
+    const auto result = model::verify_scheme(g, scheme);
+    if (!result.ok()) {
+      std::cerr << "hierarchical failed on " << family << " k=" << k << "\n";
+      std::exit(1);
+    }
+    const auto space = scheme.space();
+    table.add_row({family, std::to_string(g.node_count()), std::to_string(k),
+                   std::to_string(space.total_function_bits()),
+                   std::to_string(space.label_bits),
+                   std::to_string(space.max_node_bits()),
+                   core::TextTable::num(result.max_stretch, 2),
+                   core::TextTable::num(result.mean_stretch, 3)});
+  };
+
+  const graph::Graph sparse = graph::grid(14, 14);
+  for (std::size_t k : {2u, 3u, 4u, 5u}) run("grid 14x14", sparse, k);
+  table.add_rule();
+
+  graph::Rng rng(1201);
+  const graph::Graph gnp = graph::random_gnp(196, 0.05, rng);
+  if (graph::is_connected(gnp)) {
+    for (std::size_t k : {2u, 3u, 4u}) run("G(n,0.05)", gnp, k);
+    table.add_rule();
+  }
+
+  graph::Rng rng2(1202);
+  const graph::Graph dense = core::certified_random_graph(128, rng2);
+  for (std::size_t k : {2u, 3u}) run("G(n,1/2)", dense, k);
+
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape check: on sparse graphs function bits fall monotonically "
+         "with k while\nstretch rises — the [9]-style trade-off. On dense "
+         "diameter-2 graphs vicinities\nstay large and the hierarchy buys "
+         "little: the regime where this paper's\nΘ(n²) bound (Theorems 1/6) "
+         "is the whole story.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces the phenomenon of the paper's reference [1] (Flammini, van
+// Leeuwen, Marchetti-Spaccamela: interval routing on random graphs):
+// interval compression is powerful on linear/structured topologies and
+// worthless on random graphs — the combinatorial face of this paper's
+// Theorem 6/7 lower bounds.
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+
+  std::cout << "== Reference [1]: interval routing compactness ==\n\n";
+
+  core::TextTable table({"graph", "n", "compactness (max/port)",
+                         "total intervals", "scheme bits", "full-table bits"});
+
+  auto add = [&table](const char* family, const graph::Graph& g) {
+    const schemes::KIntervalScheme scheme(g);
+    const auto result = model::verify_scheme(g, scheme);
+    if (!result.ok() || result.max_stretch != 1.0) {
+      std::cerr << "interval scheme broken on " << family << "\n";
+      std::exit(1);
+    }
+    const auto table_bits =
+        schemes::FullTableScheme::standard(g).space().total_bits();
+    table.add_row({family, std::to_string(g.node_count()),
+                   std::to_string(scheme.compactness()),
+                   std::to_string(scheme.total_intervals()),
+                   std::to_string(scheme.space().total_bits()),
+                   std::to_string(table_bits)});
+  };
+
+  add("chain", graph::chain(128));
+  add("ring", graph::ring(128));
+  add("star", graph::star(128));
+  add("grid 8x16", graph::grid(8, 16));
+  add("hypercube d=7", graph::hypercube(7));
+  table.add_rule();
+  for (std::size_t n : {64u, 128u, 256u}) {
+    graph::Rng rng(n + 71);
+    const graph::Graph g = core::certified_random_graph(n, rng);
+    add("G(n,1/2)", g);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape check: compactness 1 on chains/rings/stars, modest on "
+         "grids and\nhypercubes, and Θ(n) on random graphs — where the "
+         "interval scheme costs as\nmuch as (or more than) the literal "
+         "table, exactly the regime in which\nTheorems 6–7 prove Ω(n²) "
+         "bits are unavoidable.\n";
+  return 0;
+}

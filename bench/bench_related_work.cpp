@@ -1,0 +1,79 @@
+// Reproduces the §1.2 comparison with related work: Peleg–Upfal-style
+// stretch-s trade-off schemes (our landmark baseline, stretch < 3) versus
+// this paper's constructions, in both regimes:
+//
+//   dense "almost all" graphs  — Theorem 1's 6n-bit tables beat the general
+//                                trade-off scheme (the paper's point: on
+//                                random graphs the specialized bounds win);
+//   sparse graphs              — Theorem 1 does not even apply (diameter
+//                                > 2); the trade-off scheme is the option.
+#include <iostream>
+#include <vector>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+
+  std::cout << "== §1.2 related work: landmark (stretch<3) vs this paper "
+               "==\n\n";
+
+  core::TextTable table({"graph", "n", "scheme", "total bits", "label bits",
+                         "max stretch", "applies"});
+
+  for (std::size_t n : {64u, 128u, 256u}) {
+    graph::Rng rng(n + 41);
+    const graph::Graph dense = core::certified_random_graph(n, rng);
+    {
+      const schemes::CompactDiam2Scheme compact(dense, {});
+      const auto r = model::verify_scheme(dense, compact);
+      table.add_row({"G(n,1/2)", std::to_string(n), "compact-diam2 (Thm 1)",
+                     std::to_string(compact.space().total_bits()), "0",
+                     core::TextTable::num(r.max_stretch, 2), "yes"});
+    }
+    {
+      const schemes::LandmarkScheme lm(dense);
+      const auto r = model::verify_scheme(dense, lm);
+      const auto space = lm.space();
+      table.add_row({"G(n,1/2)", std::to_string(n), "landmark (PU-style)",
+                     std::to_string(space.total_function_bits()),
+                     std::to_string(space.label_bits),
+                     core::TextTable::num(r.max_stretch, 2), "yes"});
+    }
+    table.add_rule();
+  }
+
+  for (std::size_t side : {8u, 12u, 16u}) {
+    const graph::Graph sparse = graph::grid(side, side);
+    const std::size_t n = side * side;
+    {
+      bool applies = true;
+      try {
+        schemes::CompactDiam2Scheme compact(sparse, {});
+      } catch (const schemes::SchemeInapplicable&) {
+        applies = false;
+      }
+      table.add_row({"grid", std::to_string(n), "compact-diam2 (Thm 1)", "-",
+                     "-", "-", applies ? "yes" : "no (diam > 2)"});
+    }
+    {
+      const schemes::LandmarkScheme lm(sparse);
+      const auto r = model::verify_scheme(sparse, lm);
+      const auto space = lm.space();
+      table.add_row({"grid", std::to_string(n), "landmark (PU-style)",
+                     std::to_string(space.total_function_bits()),
+                     std::to_string(space.label_bits),
+                     core::TextTable::num(r.max_stretch, 2), "yes"});
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape check: on dense random graphs the Theorem 1 tables are "
+         "several times\nsmaller than the general trade-off scheme (the "
+         "paper's average-case point);\non sparse grids Theorem 1 is "
+         "inapplicable while the landmark scheme routes\nwith stretch < 3 "
+         "and near-linear tables — the Peleg–Upfal regime.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Timing benchmarks (google-benchmark): scheme construction, per-hop
+// routing-function evaluation, and simulator event throughput — the
+// operational costs behind the space bounds.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/optrt.hpp"
+
+namespace {
+
+using namespace optrt;
+
+const graph::Graph& shared_graph(std::size_t n) {
+  static std::map<std::size_t, graph::Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    graph::Rng rng(n + 1);
+    it = cache.emplace(n, core::certified_random_graph(n, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_BuildCompactScheme(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    schemes::CompactDiam2Scheme scheme(g, {});
+    benchmark::DoNotOptimize(scheme.space().total_bits());
+  }
+}
+BENCHMARK(BM_BuildCompactScheme)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BuildFullTable(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto scheme = schemes::FullTableScheme::standard(g);
+    benchmark::DoNotOptimize(scheme.space().total_bits());
+  }
+}
+BENCHMARK(BM_BuildFullTable)->Arg(64)->Arg(128);
+
+void BM_NextHopCompact(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  model::MessageHeader h;
+  graph::NodeId v = 1;
+  for (auto _ : state) {
+    v = v + 1 < g.node_count() ? v + 1 : 1;
+    benchmark::DoNotOptimize(scheme.next_hop(0, v, h));
+  }
+}
+BENCHMARK(BM_NextHopCompact)->Arg(128)->Arg(256);
+
+void BM_NextHopFullTable(benchmark::State& state) {
+  const auto& g = shared_graph(static_cast<std::size_t>(state.range(0)));
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  model::MessageHeader h;
+  graph::NodeId v = 1;
+  for (auto _ : state) {
+    v = v + 1 < g.node_count() ? v + 1 : 1;
+    benchmark::DoNotOptimize(scheme.next_hop(0, v, h));
+  }
+}
+BENCHMARK(BM_NextHopFullTable)->Arg(128)->Arg(256);
+
+void BM_SimulatorAllPairs(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& g = shared_graph(n);
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  for (auto _ : state) {
+    net::Simulator sim(g, scheme);
+    for (const auto& [u, v] : net::all_pairs(n)) sim.send(u, v);
+    const auto stats = sim.run();
+    if (stats.dropped != 0) state.SkipWithError("dropped messages");
+    benchmark::DoNotOptimize(stats.total_hops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * (n - 1)));
+}
+BENCHMARK(BM_SimulatorAllPairs)->Arg(64)->Arg(128);
+
+void BM_VerifyScheme(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& g = shared_graph(n);
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::verify_scheme(g, scheme).max_stretch);
+  }
+}
+BENCHMARK(BM_VerifyScheme)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

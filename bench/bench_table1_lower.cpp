@@ -1,0 +1,122 @@
+// Reproduces Table 1's *lower bound* rows by running the incompressibility
+// codecs (Theorems 6, 7, 8) on certified G(n, 1/2):
+//
+//   II∧α    Ω(n²)        — Theorem 6: per-node implied bound ≈ n/2
+//   IA ∨ IB Ω(n²)        — Theorem 7 / Claim 3: interconnection floor
+//   IA∧α    Ω(n² log n)  — Theorem 8: port-permutation content log₂(d!)
+//
+// Each row shows the paper's per-node bound next to the measured implied
+// bound (what any routing function must store, given the proof's exact
+// description scheme, if E(G) is incompressible).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/optrt.hpp"
+
+int main() {
+  using namespace optrt;
+  const std::vector<std::size_t> ns = {64, 128, 256};
+
+  std::cout << "== Table 1 (lower bounds): implied per-node routing-function "
+               "bits ==\n\n";
+
+  core::TextTable table({"theorem", "model", "n", "paper/node",
+                         "implied/node (measured)", "check"});
+
+  for (std::size_t n : ns) {
+    graph::Rng rng(n * 17 + 1);
+    const graph::Graph g = core::certified_random_graph(n, rng);
+
+    // Theorem 6 (II∧α): savings from F(u) over 8 sample nodes.
+    {
+      double implied = 0;
+      const int samples = 8;
+      for (graph::NodeId u = 0; u < samples; ++u) {
+        const auto r = incompress::theorem6_encode(g, u);
+        implied += static_cast<double>(r.implied_function_lower_bound());
+        // Exactness is non-negotiable: the decoder must reproduce G.
+        if (!(incompress::theorem6_decode(r.description.bits, n) == g)) {
+          std::cerr << "theorem6 round-trip FAILED\n";
+          return 1;
+        }
+      }
+      implied /= samples;
+      table.add_row({"Thm 6", "II.alpha", std::to_string(n),
+                     core::TextTable::num(incompress::theorem6_per_node_bound(n), 0),
+                     core::TextTable::num(implied, 0),
+                     "round-trip ok"});
+    }
+
+    // Theorem 7 (IA ∨ IB): Claim 3 — the interconnection pattern costs
+    // n−1 bits but only claim3 rank-bits are recoverable without F(u):
+    // the floor is the difference.
+    {
+      const auto scheme = schemes::FullTableScheme::standard(g);
+      double floor = 0;
+      const int samples = 8;
+      for (graph::NodeId u = 0; u < samples; ++u) {
+        const auto enc = incompress::claim3_encode(scheme, u);
+        floor += static_cast<double>(n - 1) -
+                 static_cast<double>(enc.bits.size());
+        const auto decoded = incompress::claim3_decode(scheme, u, enc.bits);
+        for (graph::PortId p = 0; p < decoded.size(); ++p) {
+          if (decoded[p] != scheme.ports().neighbor_at(u, p)) {
+            std::cerr << "claim3 reconstruction FAILED\n";
+            return 1;
+          }
+        }
+      }
+      floor /= samples;
+      table.add_row({"Thm 7", "IA or IB", std::to_string(n),
+                     core::TextTable::num(static_cast<double>(n) / 2.0, 0),
+                     core::TextTable::num(floor, 0), "claim3 ok"});
+    }
+
+    // Theorem 8 (IA∧α): the routing function pins down the adversarial
+    // port permutation: log₂(d(u)!) bits of content per node.
+    {
+      graph::Rng prng(n);
+      const schemes::FullTableScheme adversarial(
+          g, graph::PortAssignment::random(g, prng),
+          graph::Labeling::identity(n), model::kIAalpha);
+      double content = 0;
+      const int samples = 8;
+      for (graph::NodeId u = 0; u < samples; ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto recovered = incompress::recover_port_permutation(
+            adversarial, u, {nbrs.begin(), nbrs.end()});
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (recovered[i] != adversarial.ports().port_of(u, nbrs[i])) {
+            std::cerr << "theorem8 permutation recovery FAILED\n";
+            return 1;
+          }
+        }
+        content += incompress::log2_factorial(g.degree(u));
+      }
+      content /= samples;
+      table.add_row(
+          {"Thm 8", "IA.alpha", std::to_string(n),
+           core::TextTable::num(incompress::theorem8_per_node_bound(n), 0),
+           core::TextTable::num(content, 0), "perm recovered"});
+      // The counting bound is achievable: the permutation part stores in
+      // exactly ⌈log₂ d!⌉ bits via the Lehmer code.
+      double optimal = 0;
+      for (graph::NodeId u = 0; u < 8; ++u) {
+        optimal += static_cast<double>(
+            incompress::permutation_code_bits(g.degree(u)));
+      }
+      table.add_row({"Thm 8*", "IA.alpha", std::to_string(n),
+                     core::TextTable::num(incompress::theorem8_per_node_bound(n), 0),
+                     core::TextTable::num(optimal / 8, 0),
+                     "Lehmer-coded (tight)"});
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: Thm 6/7 implied bounds grow linearly "
+               "(Ω(n²) total over n nodes);\nThm 8 content grows like "
+               "(n/2)·log(n/2) (Ω(n² log n) total).\n";
+  return 0;
+}

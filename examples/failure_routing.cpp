@@ -1,0 +1,62 @@
+// Failure routing: the §1 motivation for full-information schemes made
+// concrete. We run the same traffic through (a) the compact single-path
+// scheme and (b) the full-information scheme while links fail, and compare
+// delivery rates — the O(n³) bits buy rerouting.
+//
+//   $ ./failure_routing [n] [failures] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optrt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 96;
+  const std::size_t failures =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  graph::Rng rng(seed);
+  const graph::Graph g = core::certified_random_graph(n, rng);
+
+  const schemes::CompactDiam2Scheme compact(g, {});
+  const auto full = schemes::FullInformationScheme::standard(g);
+
+  // Fail `failures` random links (same set for both runs).
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> down;
+  graph::Rng failure_rng(seed + 1);
+  std::uniform_int_distribution<graph::NodeId> pick(0,
+                                                    static_cast<graph::NodeId>(n - 1));
+  while (down.size() < failures) {
+    const graph::NodeId u = pick(failure_rng);
+    const graph::NodeId v = pick(failure_rng);
+    if (u != v && g.has_edge(u, v)) down.emplace_back(u, v);
+  }
+
+  graph::Rng traffic_rng(seed + 2);
+  const auto traffic = net::uniform_random(n, 2000, traffic_rng);
+
+  auto run = [&](const model::RoutingScheme& scheme, const char* name) {
+    net::Simulator sim(g, scheme);
+    for (const auto& [u, v] : down) sim.fail_link(u, v);
+    for (const auto& [u, v] : traffic) sim.send(u, v);
+    const auto stats = sim.run();
+    std::cout << name << ": delivered " << stats.delivered << "/"
+              << traffic.size() << "  dropped " << stats.dropped
+              << "  mean hops "
+              << core::TextTable::num(stats.mean_hops(), 3) << "  ("
+              << scheme.space().total_bits() << " bits stored)\n";
+    return stats;
+  };
+
+  std::cout << "n=" << n << ", |E|=" << g.edge_count() << ", " << failures
+            << " failed links, " << traffic.size() << " messages\n\n";
+  const auto compact_stats = run(compact, "compact   (Theorem 1, one path) ");
+  const auto full_stats = run(full, "full-info (Theorem 10, all paths)");
+
+  std::cout << "\nfull-information recovered "
+            << (full_stats.delivered - compact_stats.delivered)
+            << " messages the single-path scheme dropped.\n";
+  return full_stats.delivered >= compact_stats.delivered ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Incompressibility tour: the paper's proof method as a live demo. Each
+// lemma/theorem proof is a description scheme; we run them on structured
+// graphs (where they compress) and on a certified random graph (where they
+// cannot) and print the exact bit accounting.
+//
+//   $ ./incompressibility_tour [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optrt;
+  using incompress::Description;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+
+  core::TextTable table(
+      {"codec", "graph", "E(G) bits", "description bits", "savings"});
+
+  auto add = [&table](const char* codec, const char* family,
+                      const Description& d) {
+    table.add_row({codec, family, std::to_string(d.original_bits),
+                   std::to_string(d.bits.size()),
+                   std::to_string(d.savings())});
+  };
+
+  // Lemma 1: deviant degrees compress.
+  add("lemma1 (degree)", "star", incompress::lemma1_encode(graph::star(n), 0));
+  graph::Rng rng(1);
+  const graph::Graph random = core::certified_random_graph(n, rng);
+  add("lemma1 (degree)", "G(n,1/2)",
+      incompress::lemma1_encode(random, incompress::most_deviant_node(random)));
+
+  // Lemma 2: diameter > 2 compresses.
+  const graph::Graph long_graph = graph::chain(n);
+  const auto pair = incompress::find_distant_pair(long_graph);
+  add("lemma2 (diameter)", "chain",
+      incompress::lemma2_encode(long_graph, pair->first, pair->second));
+  std::cout << "lemma2 witness on G(n,1/2): "
+            << (incompress::find_distant_pair(random) ? "FOUND (!)"
+                                                      : "none — diameter 2")
+            << "\n";
+
+  // Theorem 6: a routing function reveals one edge per destination.
+  const auto t6 = incompress::theorem6_encode(random, 0);
+  add("theorem6 (F(u))", "G(n,1/2)", t6.description);
+  std::cout << "theorem6: any shortest-path F(u) in II.alpha needs >= "
+            << t6.implied_function_lower_bound() << " bits here (n/2 = "
+            << n / 2 << ")\n";
+
+  // Theorem 10: a full-information function reveals a quarter of E(G).
+  const auto t10 = incompress::theorem10_encode(random, 0);
+  add("theorem10 (full info)", "G(n,1/2)", t10.description);
+  std::cout << "theorem10: any full-information F(u) needs >= "
+            << t10.implied_function_lower_bound() << " bits here (n²/4 = "
+            << n * n / 4 << ")\n\n";
+
+  // Whole-graph enumerative compressor: C(E(G)|n) upper bounds.
+  for (const auto& [name, graph_value] :
+       {std::pair<const char*, graph::Graph>{"chain", graph::chain(n)},
+        {"G_B (Figure 1)", graph::lower_bound_gb(n / 3)},
+        {"G(n,1/2)", random}}) {
+    Description d;
+    d.bits = incompress::compress_graph(graph_value);
+    d.original_bits =
+        graph_value.node_count() * (graph_value.node_count() - 1) / 2;
+    add("enumerative compressor", name, d);
+  }
+
+  table.print(std::cout);
+
+  // Footnote 1: the port assignment as a covert channel.
+  const std::size_t d = 40;
+  const std::size_t capacity = incompress::payload_capacity_bits(d);
+  bitio::BitVector secret(capacity);
+  for (std::size_t i = 0; i < capacity; i += 3) secret.set(i, true);
+  const auto perm = incompress::embed_payload(d, secret);
+  const bool recovered = incompress::extract_payload(perm) == secret;
+  std::cout << "\nfootnote 1: " << capacity << " bits hidden in a degree-"
+            << d << " port assignment and " << (recovered ? "recovered"
+                                                          : "LOST")
+            << " — why the paper excludes II with free ports.\n";
+
+  std::cout
+      << "\nRound-trip guarantee: every description above decodes back to "
+         "the exact\ninput graph — run the test suite to see it checked "
+         "(lemma_codecs_test,\ntheorem_codecs_test, arith_compressor_test, "
+         "permutation_code_test).\n";
+  return recovered ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Model explorer: the paper's nine models side by side on one graph —
+// which scheme the universal strategy picks, how many bits it needs, and
+// what the verifier measures. A miniature interactive Table 1.
+//
+//   $ ./model_explorer [n] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/optrt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optrt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  graph::Rng rng(seed);
+  const graph::Graph g = core::certified_random_graph(n, rng);
+  std::cout << "shortest-path routing on a certified G(" << n
+            << ", 1/2), seed " << seed << "\n\n";
+
+  core::TextTable table({"model", "scheme", "function bits", "label bits",
+                         "total", "bits/node", "max stretch"});
+  for (const model::Model& m : model::Model::all()) {
+    const auto scheme = schemes::compile(g, m);
+    const auto space = scheme->space();
+    const auto result = model::verify_scheme(g, *scheme);
+    table.add_row({m.name(), scheme->name(),
+                   std::to_string(space.total_function_bits()),
+                   std::to_string(space.label_bits),
+                   std::to_string(space.total_bits()),
+                   core::TextTable::num(
+                       static_cast<double>(space.total_bits()) /
+                           static_cast<double>(n),
+                       1),
+                   core::TextTable::num(result.max_stretch, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide (paper, Table 1): II/IB rows are O(n²) total"
+               " (Theorem 1);\nII.gamma drops to O(n log² n) (Theorem 2);"
+               " IA rows pay Θ(n² log n) for the\nadversarial port"
+               " assignment (Theorem 8).\n";
+  return 0;
+}

@@ -1,0 +1,300 @@
+// optrt_cli — the library as a command-line tool.
+//
+//   optrt_cli generate <family> <n> [--seed S] [--certified] -o G.eg
+//   optrt_cli info     G.eg
+//   optrt_cli compile  G.eg [--model M] [--objective O] -o S.ort
+//   optrt_cli route    G.eg S.ort <src> <dst>
+//   optrt_cli verify   G.eg S.ort
+//   optrt_cli sizes    G.eg
+//
+// Families: uniform gnp:<p> chain ring complete star grid:<r>x<c>
+//           hypercube:<d> gb:<k>
+// Models:   IA.alpha IA.beta IA.gamma IB.alpha ... II.gamma
+// Objectives: shortest stretch1.5 stretch2 stretchlog fullinfo
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph_io.hpp"
+#include "core/optrt.hpp"
+
+namespace {
+
+using namespace optrt;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  optrt_cli generate <family> <n> [--seed S] [--certified] -o G.eg\n"
+      "  optrt_cli info G.eg\n"
+      "  optrt_cli compile G.eg [--model II.alpha] [--objective shortest] -o S.ort\n"
+      "  optrt_cli route G.eg S.ort <src> <dst>\n"
+      "  optrt_cli verify G.eg S.ort\n"
+      "  optrt_cli sizes G.eg\n"
+      "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
+      "hypercube:<d> gb:<k>\n";
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> output;
+  std::uint64_t seed = 1;
+  bool certified = false;
+  std::string model = "II.alpha";
+  std::string objective = "shortest";
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage("missing value after " + a);
+      return argv[i];
+    };
+    if (a == "-o" || a == "--output") {
+      args.output = next();
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--certified") {
+      args.certified = true;
+    } else if (a == "--model") {
+      args.model = next();
+    } else if (a == "--objective") {
+      args.objective = next();
+    } else if (!a.empty() && a[0] == '-') {
+      usage("unknown flag " + a);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+graph::Graph make_graph(const std::string& family, std::size_t n,
+                        std::uint64_t seed, bool certified) {
+  graph::Rng rng(seed);
+  if (family == "uniform") {
+    return certified ? core::certified_random_graph(n, rng)
+                     : graph::random_uniform(n, rng);
+  }
+  if (family.rfind("gnp:", 0) == 0) {
+    return graph::random_gnp(n, std::strtod(family.c_str() + 4, nullptr), rng);
+  }
+  if (family == "chain") return graph::chain(n);
+  if (family == "ring") return graph::ring(n);
+  if (family == "complete") return graph::complete(n);
+  if (family == "star") return graph::star(n);
+  if (family.rfind("grid:", 0) == 0) {
+    const char* spec = family.c_str() + 5;
+    const char* x = std::strchr(spec, 'x');
+    if (x == nullptr) usage("grid spec must be grid:<r>x<c>");
+    return graph::grid(std::strtoul(spec, nullptr, 10),
+                       std::strtoul(x + 1, nullptr, 10));
+  }
+  if (family.rfind("hypercube:", 0) == 0) {
+    return graph::hypercube(std::strtoul(family.c_str() + 10, nullptr, 10));
+  }
+  if (family.rfind("gb:", 0) == 0) {
+    return graph::lower_bound_gb(std::strtoul(family.c_str() + 3, nullptr, 10));
+  }
+  usage("unknown family " + family);
+}
+
+model::Model parse_model(const std::string& name) {
+  for (const model::Model& m : model::Model::all()) {
+    if (m.name() == name) return m;
+  }
+  usage("unknown model " + name);
+}
+
+schemes::Objective parse_objective(const std::string& name) {
+  if (name == "shortest") return schemes::Objective::kShortestPath;
+  if (name == "stretch1.5") return schemes::Objective::kStretchBelow2;
+  if (name == "stretch2") return schemes::Objective::kStretch2;
+  if (name == "stretchlog") return schemes::Objective::kStretchLog;
+  if (name == "fullinfo") return schemes::Objective::kFullInformation;
+  usage("unknown objective " + name);
+}
+
+std::unique_ptr<model::RoutingScheme> load_scheme(
+    const std::string& path, const graph::Graph& g) {
+  const bitio::BitVector artifact = schemes::load_artifact(path);
+  switch (schemes::peek_kind(artifact)) {
+    case schemes::SchemeKind::kCompactDiam2:
+      return std::make_unique<schemes::CompactDiam2Scheme>(
+          schemes::deserialize_compact_diam2(artifact, g));
+    case schemes::SchemeKind::kFullTable:
+      return std::make_unique<schemes::FullTableScheme>(
+          schemes::deserialize_full_table(artifact, g));
+    case schemes::SchemeKind::kHub:
+      return std::make_unique<schemes::HubScheme>(
+          schemes::deserialize_hub(artifact, g));
+    case schemes::SchemeKind::kRoutingCenter:
+      return std::make_unique<schemes::RoutingCenterScheme>(
+          schemes::deserialize_routing_center(artifact, g));
+    case schemes::SchemeKind::kLandmark:
+      return std::make_unique<schemes::LandmarkScheme>(
+          schemes::deserialize_landmark(artifact, g));
+    case schemes::SchemeKind::kHierarchical:
+      return std::make_unique<schemes::HierarchicalScheme>(
+          schemes::deserialize_hierarchical(artifact, g));
+  }
+  usage("unrecognized scheme artifact");
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.size() != 2 || !args.output) {
+    usage("generate needs <family> <n> -o FILE");
+  }
+  const std::size_t n = std::strtoul(args.positional[1].c_str(), nullptr, 10);
+  const graph::Graph g =
+      make_graph(args.positional[0], n, args.seed, args.certified);
+  core::save_graph(*args.output, g);
+  std::cout << "wrote " << *args.output << ": n=" << g.node_count()
+            << " |E|=" << g.edge_count() << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1) usage("info needs a graph file");
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::DistanceMatrix dist(g);
+  const auto cert = graph::certify(g);
+  std::cout << "n = " << g.node_count() << "\n|E| = " << g.edge_count()
+            << "\nmin/max degree = " << g.min_degree() << "/" << g.max_degree()
+            << "\ndiameter = ";
+  if (dist.diameter() == graph::kUnreachable) {
+    std::cout << "inf (disconnected)";
+  } else {
+    std::cout << dist.diameter();
+  }
+  std::cout << "\ncertificate (Lemmas 1-3): " << (cert.ok() ? "PASS" : "fail")
+            << "  [degrees " << (cert.degrees_concentrated ? "ok" : "FAIL")
+            << ", diameter-2 " << (cert.diameter_two ? "ok" : "FAIL")
+            << ", covers " << (cert.covers_small ? "ok" : "FAIL") << "]\n";
+  return 0;
+}
+
+int cmd_compile(const Args& args) {
+  if (args.positional.size() != 1 || !args.output) {
+    usage("compile needs a graph file and -o FILE");
+  }
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  schemes::CompileOptions opt;
+  opt.objective = parse_objective(args.objective);
+  opt.port_seed = args.seed;
+  const auto scheme = schemes::compile(g, parse_model(args.model), opt);
+  bitio::BitVector artifact;
+  if (const auto* c =
+          dynamic_cast<const schemes::CompactDiam2Scheme*>(scheme.get())) {
+    artifact = schemes::serialize(*c);
+  } else if (const auto* t =
+                 dynamic_cast<const schemes::FullTableScheme*>(scheme.get())) {
+    artifact = schemes::serialize(*t);
+  } else if (const auto* hb =
+                 dynamic_cast<const schemes::HubScheme*>(scheme.get())) {
+    artifact = schemes::serialize(*hb);
+  } else if (const auto* rc = dynamic_cast<const schemes::RoutingCenterScheme*>(
+                 scheme.get())) {
+    artifact = schemes::serialize(*rc);
+  } else {
+    std::cerr << "scheme '" << scheme->name()
+              << "' has no stored tables to serialize; reporting only\n";
+  }
+  const auto space = scheme->space();
+  std::cout << "compiled " << scheme->name() << " for model "
+            << scheme->routing_model().name() << ": "
+            << space.total_bits() << " bits total, max node "
+            << space.max_node_bits() << "\n";
+  if (!artifact.empty()) {
+    schemes::save_artifact(*args.output, artifact);
+    std::cout << "wrote " << *args.output << " (" << artifact.size()
+              << " bits incl. environment)\n";
+  }
+  return 0;
+}
+
+int cmd_route(const Args& args) {
+  if (args.positional.size() != 4) {
+    usage("route needs <graph> <scheme> <src> <dst>");
+  }
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  const auto scheme = load_scheme(args.positional[1], g);
+  const auto src =
+      static_cast<graph::NodeId>(std::strtoul(args.positional[2].c_str(), nullptr, 10));
+  const auto dst =
+      static_cast<graph::NodeId>(std::strtoul(args.positional[3].c_str(), nullptr, 10));
+  if (src >= g.node_count() || dst >= g.node_count() || src == dst) {
+    usage("route endpoints out of range or equal");
+  }
+  model::MessageHeader header;
+  graph::NodeId at = src;
+  std::size_t hops = 0;
+  std::cout << at;
+  while (at != dst) {
+    if (hops > 4 * g.node_count()) {
+      std::cout << " ... (no progress, giving up)\n";
+      return 1;
+    }
+    const graph::NodeId next = scheme->next_hop(at, scheme->label_of(dst), header);
+    header.came_from = at;
+    at = next;
+    ++hops;
+    std::cout << " -> " << at;
+  }
+  std::cout << "   (" << hops << " hops)\n";
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional.size() != 2) usage("verify needs <graph> <scheme>");
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  const auto scheme = load_scheme(args.positional[1], g);
+  const auto result = model::verify_scheme(g, *scheme);
+  std::cout << "pairs checked : " << result.pairs_checked
+            << "\npairs failed  : " << result.pairs_failed
+            << "\ninvalid hops  : " << result.invalid_hops
+            << "\nmax stretch   : " << result.max_stretch
+            << "\nmean stretch  : " << result.mean_stretch << "\n";
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_sizes(const Args& args) {
+  if (args.positional.size() != 1) usage("sizes needs a graph file");
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  core::TextTable table({"model", "scheme", "total bits", "max stretch"});
+  for (const model::Model& m : model::Model::all()) {
+    const auto scheme = schemes::compile(g, m);
+    const auto result = model::verify_scheme(g, *scheme);
+    table.add_row({m.name(), scheme->name(),
+                   std::to_string(scheme->space().total_bits()),
+                   core::TextTable::num(result.max_stretch, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "compile") return cmd_compile(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "sizes") return cmd_sizes(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + command);
+}

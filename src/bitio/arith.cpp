@@ -1,0 +1,134 @@
+#include "bitio/arith.hpp"
+
+namespace optrt::bitio {
+
+namespace {
+
+// 32-bit carry-less range coder over the binary alphabet with the
+// Krichevsky–Trofimov estimator p(1) = (ones + ½) / (total + 1),
+// implemented in integer arithmetic as (2·ones + 1) / (2·total + 2).
+constexpr std::uint64_t kTop = std::uint64_t{1} << 32;
+constexpr std::uint64_t kHalf = kTop >> 1;
+constexpr std::uint64_t kQuarter = kTop >> 2;
+constexpr std::uint64_t kThreeQuarters = kHalf + kQuarter;
+
+struct KtModel {
+  std::uint64_t ones = 0;
+  std::uint64_t total = 0;
+
+  /// Range split point for the next symbol: width of the "0" region.
+  [[nodiscard]] std::uint64_t zero_width(std::uint64_t range) const {
+    // p(0) = (2·zeros + 1) / (2·total + 2); keep at least 1 unit per side.
+    const std::uint64_t zeros = total - ones;
+    std::uint64_t width =
+        range / (2 * total + 2) * (2 * zeros + 1);
+    if (width == 0) width = 1;
+    if (width >= range) width = range - 1;
+    return width;
+  }
+
+  void update(bool bit) {
+    if (bit) ++ones;
+    ++total;
+  }
+};
+
+}  // namespace
+
+BitVector arithmetic_encode(const BitVector& bits) {
+  BitWriter out;
+  std::uint64_t low = 0;
+  std::uint64_t high = kTop - 1;
+  std::size_t pending = 0;
+  KtModel model;
+
+  auto emit = [&out, &pending](bool bit) {
+    out.write_bit(bit);
+    for (; pending > 0; --pending) out.write_bit(!bit);
+  };
+
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool bit = bits.get(i);
+    const std::uint64_t range = high - low + 1;
+    const std::uint64_t split = model.zero_width(range);
+    if (bit) {
+      low += split;
+    } else {
+      high = low + split - 1;
+    }
+    model.update(bit);
+    // Renormalize.
+    while (true) {
+      if (high < kHalf) {
+        emit(false);
+      } else if (low >= kHalf) {
+        emit(true);
+        low -= kHalf;
+        high -= kHalf;
+      } else if (low >= kQuarter && high < kThreeQuarters) {
+        ++pending;
+        low -= kQuarter;
+        high -= kQuarter;
+      } else {
+        break;
+      }
+      low <<= 1;
+      high = (high << 1) | 1;
+    }
+  }
+  // Flush: disambiguate the final interval.
+  ++pending;
+  emit(low >= kQuarter);
+  return out.take();
+}
+
+BitVector arithmetic_decode(const BitVector& code, std::size_t count) {
+  BitVector out;
+  std::uint64_t low = 0;
+  std::uint64_t high = kTop - 1;
+  std::uint64_t value = 0;
+  std::size_t pos = 0;
+  auto next_code_bit = [&code, &pos]() -> std::uint64_t {
+    return pos < code.size() ? (code.get(pos++) ? 1u : 0u) : 0u;
+  };
+  for (int i = 0; i < 32; ++i) value = (value << 1) | next_code_bit();
+  KtModel model;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t range = high - low + 1;
+    const std::uint64_t split = model.zero_width(range);
+    const bool bit = value - low >= split;
+    out.push_back(bit);
+    if (bit) {
+      low += split;
+    } else {
+      high = low + split - 1;
+    }
+    model.update(bit);
+    while (true) {
+      if (high < kHalf) {
+        // nothing
+      } else if (low >= kHalf) {
+        low -= kHalf;
+        high -= kHalf;
+        value -= kHalf;
+      } else if (low >= kQuarter && high < kThreeQuarters) {
+        low -= kQuarter;
+        high -= kQuarter;
+        value -= kQuarter;
+      } else {
+        break;
+      }
+      low <<= 1;
+      high = (high << 1) | 1;
+      value = (value << 1) | next_code_bit();
+    }
+  }
+  return out;
+}
+
+std::size_t arithmetic_coded_bits(const BitVector& bits) {
+  return arithmetic_encode(bits).size();
+}
+
+}  // namespace optrt::bitio

@@ -1,0 +1,27 @@
+// Adaptive binary arithmetic coding (Krichevsky–Trofimov estimator).
+//
+// The strongest computable stand-in for the incompressibility estimator:
+// codes a bit string to within ≈ ½·log n bits of its order-0 empirical
+// entropy without two passes, and decodes exactly. Used by the complexity
+// estimator and available as a general substrate codec.
+#pragma once
+
+#include <cstdint>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/bit_vector.hpp"
+
+namespace optrt::bitio {
+
+/// Encodes `bits` with an adaptive KT model. The decoder must be told the
+/// original length.
+[[nodiscard]] BitVector arithmetic_encode(const BitVector& bits);
+
+/// Decodes `count` bits from an arithmetic_encode output.
+[[nodiscard]] BitVector arithmetic_decode(const BitVector& code,
+                                          std::size_t count);
+
+/// Coded size in bits (encode and measure).
+[[nodiscard]] std::size_t arithmetic_coded_bits(const BitVector& bits);
+
+}  // namespace optrt::bitio

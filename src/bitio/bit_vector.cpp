@@ -1,0 +1,44 @@
+#include "bitio/bit_vector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace optrt::bitio {
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v;
+  for (char c : bits) {
+    if (c == '0') {
+      v.push_back(false);
+    } else if (c == '1') {
+      v.push_back(true);
+    } else {
+      throw std::invalid_argument("BitVector::from_string: expected '0' or '1'");
+    }
+  }
+  return v;
+}
+
+void BitVector::append_bits(std::uint64_t value, unsigned width) {
+  if (width > 64) throw std::invalid_argument("append_bits: width > 64");
+  for (unsigned i = 0; i < width; ++i) push_back((value >> i) & 1u);
+}
+
+void BitVector::append(const BitVector& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace optrt::bitio

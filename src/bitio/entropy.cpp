@@ -1,0 +1,90 @@
+#include "bitio/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitio/arith.hpp"
+#include "bitio/codes.hpp"
+
+namespace optrt::bitio {
+
+double empirical_entropy(const BitVector& bits) noexcept {
+  const std::size_t n = bits.size();
+  if (n == 0) return 0.0;
+  const std::size_t ones = bits.popcount();
+  if (ones == 0 || ones == n) return 0.0;
+  const double p = static_cast<double>(ones) / static_cast<double>(n);
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+double entropy_coded_bits(const BitVector& bits) noexcept {
+  const double model_cost = ceil_log2_plus1(bits.size());
+  return static_cast<double>(bits.size()) * empirical_entropy(bits) +
+         model_cost;
+}
+
+namespace {
+
+// LZ78 parse over the binary alphabet. Phrases are nodes of a trie with at
+// most two children; we store the trie as a flat vector.
+struct TrieNode {
+  std::size_t child[2] = {0, 0};  // 0 = absent (root is index 0).
+};
+
+}  // namespace
+
+std::size_t lz78_phrase_count(const BitVector& bits) {
+  std::vector<TrieNode> trie(1);
+  std::size_t phrases = 0;
+  std::size_t node = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const int b = bits.get(i) ? 1 : 0;
+    if (trie[node].child[b] != 0) {
+      node = trie[node].child[b];
+    } else {
+      trie[node].child[b] = trie.size();
+      trie.emplace_back();
+      ++phrases;
+      node = 0;
+    }
+  }
+  if (node != 0) ++phrases;  // trailing partial phrase
+  return phrases;
+}
+
+std::size_t lz78_coded_bits(const BitVector& bits) {
+  std::vector<TrieNode> trie(1);
+  std::size_t cost = 0;
+  std::size_t phrases = 0;
+  std::size_t node = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const int b = bits.get(i) ? 1 : 0;
+    if (trie[node].child[b] != 0) {
+      node = trie[node].child[b];
+    } else {
+      trie[node].child[b] = trie.size();
+      trie.emplace_back();
+      ++phrases;
+      // Each phrase is (index of parent phrase, next bit): the parent index
+      // ranges over {0..phrases-1} so costs ceil(log2(phrases)) bits, plus
+      // one literal bit.
+      cost += ceil_log2(phrases) + 1;
+      node = 0;
+    }
+  }
+  if (node != 0) {
+    ++phrases;
+    cost += ceil_log2(phrases) + 1;
+  }
+  return cost;
+}
+
+double complexity_upper_bound(const BitVector& bits) {
+  const double literal = static_cast<double>(bits.size());
+  const double entropy = entropy_coded_bits(bits);
+  const double lz = static_cast<double>(lz78_coded_bits(bits));
+  const double arith = static_cast<double>(arithmetic_coded_bits(bits));
+  return std::min({literal, entropy, lz, arith}) + 2.0;
+}
+
+}  // namespace optrt::bitio

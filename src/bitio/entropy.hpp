@@ -1,0 +1,35 @@
+// Empirical-entropy and compression-based estimators.
+//
+// Kolmogorov complexity C(x) is uncomputable; the paper's arguments only
+// ever need (a) "an effective description of length L exists, hence
+// C(x) <= L + O(1)" and (b) counting. These estimators give computable
+// *upper bounds* on C(x) used for reporting in the benches (never as
+// evidence inside a proof codec): order-0 empirical entropy of the bit
+// string and an LZ78 parse cost.
+#pragma once
+
+#include <cstddef>
+
+#include "bitio/bit_vector.hpp"
+
+namespace optrt::bitio {
+
+/// Order-0 empirical entropy (bits per symbol, in [0,1]) of a bit string.
+[[nodiscard]] double empirical_entropy(const BitVector& bits) noexcept;
+
+/// Order-0 entropy-coded size in bits: size() * H0 plus the cost of the
+/// model (one count in ceil(log2(size+1)) bits).
+[[nodiscard]] double entropy_coded_bits(const BitVector& bits) noexcept;
+
+/// Number of phrases in the LZ78 parse of the bit string.
+[[nodiscard]] std::size_t lz78_phrase_count(const BitVector& bits);
+
+/// LZ78 coded size in bits: sum over phrases i of (ceil(log2 i) + 1).
+[[nodiscard]] std::size_t lz78_coded_bits(const BitVector& bits);
+
+/// A computable upper-bound proxy for C(x): min of the literal length,
+/// entropy-coded size, and LZ78 size (plus a small header distinguishing
+/// the three, charged as 2 bits).
+[[nodiscard]] double complexity_upper_bound(const BitVector& bits);
+
+}  // namespace optrt::bitio

@@ -1,0 +1,45 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace optrt::core {
+
+graph::Graph certified_random_graph(std::size_t n, graph::Rng& rng, double c,
+                                    int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    graph::Graph g = graph::random_uniform(n, rng);
+    if (graph::certify(g, c).ok()) return g;
+  }
+  throw std::runtime_error("certified_random_graph: no certified G(n,1/2) in " +
+                           std::to_string(max_attempts) + " attempts (n=" +
+                           std::to_string(n) + ")");
+}
+
+std::vector<SweepPoint> sweep_certified(
+    const std::vector<std::size_t>& ns, std::size_t seeds,
+    const std::function<double(const graph::Graph&)>& measure) {
+  std::vector<SweepPoint> points;
+  for (std::size_t n : ns) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      graph::Rng rng(seed * 1000003 + n);
+      const graph::Graph g = certified_random_graph(n, rng);
+      points.push_back(SweepPoint{n, seed, measure(g)});
+    }
+  }
+  return points;
+}
+
+double mean_at(const std::vector<SweepPoint>& points, std::size_t n) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : points) {
+    if (p.n == n) {
+      sum += p.value;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace optrt::core

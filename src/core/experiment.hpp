@@ -1,0 +1,39 @@
+// Experiment harness helpers: certified random-graph sampling and scheme
+// size sweeps, shared by the bench binaries that regenerate the paper's
+// Table 1 and per-theorem results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/randomness.hpp"
+
+namespace optrt::core {
+
+/// Draws G(n, 1/2) until the Lemma 1–3 certificate passes (the paper's
+/// "almost all graphs" set — rejection is rare for n ≥ 32).
+/// Throws std::runtime_error after `max_attempts` failures.
+[[nodiscard]] graph::Graph certified_random_graph(std::size_t n,
+                                                  graph::Rng& rng,
+                                                  double c = 3.0,
+                                                  int max_attempts = 64);
+
+/// One measured point of a size sweep.
+struct SweepPoint {
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  double value = 0.0;
+};
+
+/// Runs `measure(graph)` over certified graphs for each n and seed.
+[[nodiscard]] std::vector<SweepPoint> sweep_certified(
+    const std::vector<std::size_t>& ns, std::size_t seeds,
+    const std::function<double(const graph::Graph&)>& measure);
+
+/// Mean of the sweep values for one n.
+[[nodiscard]] double mean_at(const std::vector<SweepPoint>& points,
+                             std::size_t n);
+
+}  // namespace optrt::core

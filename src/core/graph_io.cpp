@@ -1,0 +1,26 @@
+#include "core/graph_io.hpp"
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "graph/encoding.hpp"
+#include "schemes/serialization.hpp"
+
+namespace optrt::core {
+
+void save_graph(const std::string& path, const graph::Graph& g) {
+  bitio::BitWriter w;
+  bitio::write_prime(w, g.node_count());
+  w.write_vector(graph::encode(g));
+  schemes::save_artifact(path, w.take());
+}
+
+graph::Graph load_graph(const std::string& path) {
+  const bitio::BitVector bits = schemes::load_artifact(path);
+  bitio::BitReader r(bits);
+  const auto n = static_cast<std::size_t>(bitio::read_prime(r));
+  bitio::BitVector eg;
+  for (std::size_t i = 0; i < n * (n - 1) / 2; ++i) eg.push_back(r.read_bit());
+  return graph::decode(eg, n);
+}
+
+}  // namespace optrt::core

@@ -1,0 +1,17 @@
+// Graph files: the Definition 2 encoding E(G) with a self-delimiting node
+// count, packed into bytes — the on-disk interchange format of the CLI.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace optrt::core {
+
+/// Writes [n]′ E(G) to `path`. Throws std::runtime_error on I/O errors.
+void save_graph(const std::string& path, const graph::Graph& g);
+
+/// Reads a graph written by save_graph.
+[[nodiscard]] graph::Graph load_graph(const std::string& path);
+
+}  // namespace optrt::core

@@ -1,0 +1,51 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace optrt::core {
+
+Summary summarize(std::span<const double> values) noexcept {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+PowerFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 matched points");
+  }
+  // Linear regression in log2 space.
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double lx = std::log2(xs[i]);
+    const double ly = std::log2(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  fit.log2_coefficient = (sy - fit.exponent * sx) / n;
+  return fit;
+}
+
+}  // namespace optrt::core

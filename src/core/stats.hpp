@@ -1,0 +1,30 @@
+// Descriptive statistics and log–log slope fits for the bench harness
+// (measuring the *shape* of bounds: exponents and leading constants).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace optrt::core {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values) noexcept;
+
+/// Least-squares fit y = a·x^b through (x, y) points: returns (log2 a, b).
+/// Useful for confirming Θ(n^b) shapes from measured sizes.
+struct PowerFit {
+  double log2_coefficient = 0.0;
+  double exponent = 0.0;
+};
+[[nodiscard]] PowerFit fit_power_law(std::span<const double> xs,
+                                     std::span<const double> ys);
+
+}  // namespace optrt::core

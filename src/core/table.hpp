@@ -1,0 +1,30 @@
+// Minimal fixed-width ASCII table renderer for paper-style bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optrt::core {
+
+/// Builds and prints a column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats a double with `precision` significant-ish decimals.
+  [[nodiscard]] static std::string num(double value, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+}  // namespace optrt::core

@@ -1,0 +1,71 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace optrt::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  dist[source] = 0;
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.node_count()) {
+  d_.reserve(n_ * n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    auto row = bfs_distances(g, u);
+    d_.insert(d_.end(), row.begin(), row.end());
+  }
+}
+
+std::uint32_t DistanceMatrix::diameter() const noexcept {
+  std::uint32_t best = 0;
+  for (std::uint32_t x : d_) {
+    if (x == kUnreachable) return kUnreachable;
+    best = std::max(best, x);
+  }
+  return best;
+}
+
+bool DistanceMatrix::connected() const noexcept {
+  return std::none_of(d_.begin(), d_.end(),
+                      [](std::uint32_t x) { return x == kUnreachable; });
+}
+
+std::vector<NodeId> shortest_path_successors(const Graph& g,
+                                             const DistanceMatrix& dist,
+                                             NodeId u, NodeId v) {
+  std::vector<NodeId> out;
+  const std::uint32_t duv = dist.at(u, v);
+  if (duv == 0 || duv == kUnreachable) return out;
+  for (NodeId w : g.neighbors(u)) {
+    if (dist.at(w, v) + 1 == duv) out.push_back(w);
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t x) { return x == kUnreachable; });
+}
+
+}  // namespace optrt::graph

@@ -1,0 +1,53 @@
+// Shortest-path machinery: BFS, all-pairs distances, diameter, and the
+// shortest-path successor sets that full-information routing (Theorem 10)
+// and the scheme verifier need.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+
+/// Distance value for unreachable pairs.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// All-pairs shortest-path distances, as a flat n×n row-major matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const Graph& g);
+
+  [[nodiscard]] std::uint32_t at(NodeId u, NodeId v) const noexcept {
+    return d_[static_cast<std::size_t>(u) * n_ + v];
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Max finite distance; kUnreachable if the graph is disconnected,
+  /// 0 for graphs with < 2 nodes.
+  [[nodiscard]] std::uint32_t diameter() const noexcept;
+
+  /// True iff every pair is connected.
+  [[nodiscard]] bool connected() const noexcept;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> d_;
+};
+
+/// All neighbours of `u` that lie on a shortest path from `u` to `v`
+/// (the full-information answer set of §1): w adjacent to u with
+/// d(w, v) = d(u, v) − 1. Empty when v == u or v unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path_successors(
+    const Graph& g, const DistanceMatrix& dist, NodeId u, NodeId v);
+
+/// True iff the graph is connected.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace optrt::graph

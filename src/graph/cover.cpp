@@ -1,0 +1,91 @@
+#include "graph/cover.hpp"
+
+#include <algorithm>
+
+namespace optrt::graph {
+
+std::size_t NeighborCover::covered_count() const {
+  std::size_t covered = 0;
+  for (std::uint32_t c : coverer) {
+    if (c != kNoCoverer) ++covered;
+  }
+  return covered;
+}
+
+namespace {
+
+NeighborCover make_cover(const Graph& g, NodeId u, bool greedy) {
+  const std::size_t n = g.node_count();
+  NeighborCover cover;
+  cover.origin = u;
+  cover.coverer.assign(n, kNoCoverer);
+
+  // A_0: non-neighbours of u (excluding u).
+  std::vector<bool> pending(n, false);
+  std::size_t remaining = 0;
+  for (NodeId w = 0; w < n; ++w) {
+    if (w != u && !g.has_edge(u, w)) {
+      pending[w] = true;
+      ++remaining;
+    }
+  }
+
+  const auto neighbors = g.neighbors(u);
+  std::vector<bool> used(neighbors.size(), false);
+
+  while (remaining > 0) {
+    std::size_t pick = neighbors.size();
+    if (greedy) {
+      std::size_t best_gain = 0;
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (used[i]) continue;
+        std::size_t gain = 0;
+        for (NodeId w : g.neighbors(neighbors[i])) {
+          if (pending[w]) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          pick = i;
+        }
+      }
+      if (pick == neighbors.size()) break;  // no candidate covers anything new
+    } else {
+      // Least-neighbour order: next unused neighbour in increasing label
+      // order, regardless of gain (the paper's v_1, …, v_m).
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (!used[i]) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == neighbors.size()) break;  // neighbours exhausted
+    }
+
+    used[pick] = true;
+    const NodeId center = neighbors[pick];
+    const auto index = static_cast<std::uint32_t>(cover.centers.size());
+    cover.centers.push_back(center);
+    for (NodeId w : g.neighbors(center)) {
+      if (pending[w]) {
+        pending[w] = false;
+        cover.coverer[w] = index;
+        --remaining;
+      }
+    }
+  }
+
+  cover.complete = remaining == 0;
+  return cover;
+}
+
+}  // namespace
+
+NeighborCover least_neighbor_cover(const Graph& g, NodeId u) {
+  return make_cover(g, u, /*greedy=*/false);
+}
+
+NeighborCover greedy_neighbor_cover(const Graph& g, NodeId u) {
+  return make_cover(g, u, /*greedy=*/true);
+}
+
+}  // namespace optrt::graph

@@ -1,0 +1,55 @@
+// Neighbour dominating covers (Lemma 3 and Claim 1 of Theorem 1).
+//
+// Lemma 3: on c·log n-random graphs, from each node u every other node is
+// either adjacent to u or adjacent to one of the (c+3) log n *least* nodes
+// adjacent to u. Theorem 1's Claim 1 refines this: ordering those centers
+// v_1, v_2, … , each v_t is adjacent to at least 1/3 of the non-neighbours
+// not yet covered — so a unary "first coverer" table stays linear in n.
+//
+// We implement both the paper's least-neighbour order and a greedy
+// max-coverage order (an ablation: greedy needs no randomness assumption to
+// decay geometrically in practice).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+
+/// Sentinel for "no coverer": the node is u itself, a neighbour of u
+/// (reached directly), or genuinely uncovered (distance > 2 from u).
+inline constexpr std::uint32_t kNoCoverer =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// A dominating cover of the non-neighbours of a node u by an ordered list
+/// of u's neighbours.
+struct NeighborCover {
+  NodeId origin = 0;
+  /// Centers v_1, v_2, … (0-based in `coverer`), each a neighbour of origin.
+  std::vector<NodeId> centers;
+  /// For every node w: the 0-based index into `centers` of the first center
+  /// (in order) adjacent to w, or kNoCoverer (see above). coverer[origin]
+  /// and coverer[neighbour of origin] are always kNoCoverer.
+  std::vector<std::uint32_t> coverer;
+  /// True iff every non-neighbour of origin has a coverer (equivalently,
+  /// every node is within distance 2 of origin through a center).
+  bool complete = false;
+
+  /// Count of covered nodes (equals |A_0| when complete).
+  [[nodiscard]] std::size_t covered_count() const;
+};
+
+/// The paper's cover: centers are the least neighbours of u, in increasing
+/// label order, truncated at the first prefix that dominates all
+/// non-neighbours (the whole neighbour list if none does, with
+/// complete = false).
+[[nodiscard]] NeighborCover least_neighbor_cover(const Graph& g, NodeId u);
+
+/// Greedy max-coverage cover: each center is the neighbour adjacent to the
+/// most still-uncovered non-neighbours (ties to the least label).
+[[nodiscard]] NeighborCover greedy_neighbor_cover(const Graph& g, NodeId u);
+
+}  // namespace optrt::graph

@@ -1,0 +1,126 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+
+namespace optrt::graph {
+
+Graph random_gnp(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("random_gnp: p not in [0,1]");
+  Graph g(n);
+  std::bernoulli_distribution coin(p);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (coin(rng)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_uniform(std::size_t n, Rng& rng) {
+  // Draw the n(n-1)/2 edge bits directly from the generator words: exactly
+  // the uniform distribution over E(G) strings of Definition 2.
+  Graph g(n);
+  std::uint64_t word = 0;
+  unsigned left = 0;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (left == 0) {
+        word = rng();
+        left = 64;
+      }
+      if (word & 1u) g.add_edge(u, v);
+      word >>= 1;
+      --left;
+    }
+  }
+  return g;
+}
+
+Graph chain(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring: need n >= 3");
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph star(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("star: need n >= 1");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t dimension) {
+  if (dimension > 20) throw std::invalid_argument("hypercube: dimension > 20");
+  const std::size_t n = std::size_t{1} << dimension;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t b = 0; b < dimension; ++b) {
+      const NodeId v = u ^ static_cast<NodeId>(1u << b);
+      if (v > u) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph lower_bound_gb(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("lower_bound_gb: need k >= 1");
+  Graph g(3 * k);
+  for (NodeId mid = static_cast<NodeId>(k); mid < 2 * k; ++mid) {
+    for (NodeId bottom = 0; bottom < k; ++bottom) g.add_edge(bottom, mid);
+    g.add_edge(mid, static_cast<NodeId>(mid + k));
+  }
+  return g;
+}
+
+Graph lower_bound_gb_permuted(std::size_t k, const std::vector<NodeId>& perm) {
+  if (k == 0) throw std::invalid_argument("lower_bound_gb_permuted: k >= 1");
+  if (perm.size() != k) {
+    throw std::invalid_argument("lower_bound_gb_permuted: |perm| != k");
+  }
+  std::vector<bool> seen(k, false);
+  for (NodeId p : perm) {
+    if (p >= k || seen[p]) {
+      throw std::invalid_argument("lower_bound_gb_permuted: not a permutation");
+    }
+    seen[p] = true;
+  }
+  Graph g(3 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto mid = static_cast<NodeId>(k + i);
+    for (NodeId bottom = 0; bottom < k; ++bottom) g.add_edge(bottom, mid);
+    g.add_edge(mid, static_cast<NodeId>(2 * k + perm[i]));
+  }
+  return g;
+}
+
+}  // namespace optrt::graph

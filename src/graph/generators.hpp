@@ -1,0 +1,64 @@
+// Graph generators: random-graph proxies for Kolmogorov random graphs,
+// classic topologies for tests, and the explicit worst-case graph G_B of
+// Theorem 9 / Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+
+/// Deterministic 64-bit PRNG used throughout the library. Seeded generation
+/// keeps every experiment reproducible.
+using Rng = std::mt19937_64;
+
+/// Erdős–Rényi G(n, p): each of the n(n−1)/2 possible edges present
+/// independently with probability p.
+[[nodiscard]] Graph random_gnp(std::size_t n, double p, Rng& rng);
+
+/// G(n, 1/2): the uniform distribution over all labelled graphs on n nodes —
+/// the operational stand-in for Kolmogorov random graphs. A fraction
+/// ≥ 1 − 1/n^c of these satisfies Definition 3 with δ(n) = (c+3) log n, and
+/// the proofs only use the Lemma 1–3 consequences, which
+/// randomness::certify() checks per instance.
+[[nodiscard]] Graph random_uniform(std::size_t n, Rng& rng);
+
+/// Path 0 − 1 − … − (n−1).
+[[nodiscard]] Graph chain(std::size_t n);
+
+/// Cycle on n ≥ 3 nodes.
+[[nodiscard]] Graph ring(std::size_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// Star with centre 0 and n−1 leaves.
+[[nodiscard]] Graph star(std::size_t n);
+
+/// rows × cols grid.
+[[nodiscard]] Graph grid(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube on 2^d nodes (classic interconnect; the home
+/// turf of interval routing).
+[[nodiscard]] Graph hypercube(std::size_t dimension);
+
+/// The Theorem 9 / Figure 1 graph G_B on n = 3k nodes. With 0-based ids:
+/// bottom nodes 0..k−1, middle nodes k..2k−1, top nodes 2k..3k−1. Each
+/// middle node i is connected to its top partner i+k and to every bottom
+/// node. For any two nodes b < k and t >= 2k the unique shortest path
+/// b → (t−k) → t has length 2 and every other path has length ≥ 4, so a
+/// stretch-<2 routing function at b must name t's partner edge — i.e. it
+/// encodes the permutation labelling of the top row.
+[[nodiscard]] Graph lower_bound_gb(std::size_t k);
+
+/// G_B with a planted top-row permutation: middle node k+i is connected to
+/// top node 2k+perm[i] instead of 2k+i. Since model α forbids relabelling,
+/// each of the k! permutations is a distinct worst-case instance, and any
+/// stretch-<2 routing function at a bottom node determines `perm` — the
+/// Theorem 9 counting argument. `perm` must be a permutation of {0..k−1}.
+[[nodiscard]] Graph lower_bound_gb_permuted(std::size_t k,
+                                            const std::vector<NodeId>& perm);
+
+}  // namespace optrt::graph

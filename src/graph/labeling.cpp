@@ -1,0 +1,25 @@
+#include "graph/labeling.hpp"
+
+#include <stdexcept>
+
+namespace optrt::graph {
+
+Labeling::Labeling(std::vector<NodeId> label_of_node)
+    : label_of_node_(std::move(label_of_node)),
+      node_of_label_(label_of_node_.size(), 0) {
+  std::vector<bool> seen(label_of_node_.size(), false);
+  for (NodeId u = 0; u < label_of_node_.size(); ++u) {
+    const NodeId l = label_of_node_[u];
+    if (l >= label_of_node_.size() || seen[l]) {
+      throw std::invalid_argument("Labeling: not a permutation of {0..n-1}");
+    }
+    seen[l] = true;
+    node_of_label_[l] = u;
+  }
+}
+
+Labeling Labeling::permutation(std::vector<NodeId> label_of_node) {
+  return Labeling(std::move(label_of_node));
+}
+
+}  // namespace optrt::graph

@@ -1,0 +1,65 @@
+// Node labelings for the α / β / γ dimension of the nine models (§1).
+//
+//   α — nodes keep their given labels {0..n−1} (no relabelling);
+//   β — the strategy may permute the labels within {0..n−1};
+//   γ — arbitrary (bit-string) labels, whose lengths are *charged* to the
+//       space requirement of the scheme. Theorem 2's scheme builds such
+//       labels itself; this module supplies the permutation machinery and
+//       the γ accounting hook.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bitio/bit_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+
+/// A bijective relabelling of {0..n−1} (α is the identity instance).
+class Labeling {
+ public:
+  /// Identity labelling on n nodes (model α).
+  [[nodiscard]] static Labeling identity(std::size_t n) {
+    std::vector<NodeId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    return Labeling(std::move(perm));
+  }
+
+  /// Permutation labelling (model β): label_of_node[u] is the external
+  /// label of internal node u. Throws if not a permutation.
+  [[nodiscard]] static Labeling permutation(std::vector<NodeId> label_of_node);
+
+  [[nodiscard]] NodeId label_of(NodeId node) const noexcept {
+    return label_of_node_[node];
+  }
+  [[nodiscard]] NodeId node_of(NodeId label) const noexcept {
+    return node_of_label_[label];
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return label_of_node_.size();
+  }
+
+ private:
+  explicit Labeling(std::vector<NodeId> label_of_node);
+
+  std::vector<NodeId> label_of_node_;
+  std::vector<NodeId> node_of_label_;
+};
+
+/// Arbitrary bit-string labels (model γ). Destinations are presented to
+/// routing functions as these labels; their total length is added to the
+/// scheme's space requirement (§1, option γ).
+struct ArbitraryLabels {
+  std::vector<bitio::BitVector> label_of_node;
+
+  /// Total charged bits: Σ |label(u)|.
+  [[nodiscard]] std::size_t total_bits() const {
+    std::size_t total = 0;
+    for (const auto& l : label_of_node) total += l.size();
+    return total;
+  }
+};
+
+}  // namespace optrt::graph

@@ -1,0 +1,78 @@
+#include "graph/randomness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/cover.hpp"
+
+namespace optrt::graph {
+
+bool has_diameter_at_most_2(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return true;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    const auto row_u = g.row_words(u);
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (g.has_edge(u, v)) continue;
+      const auto row_v = g.row_words(v);
+      bool common = false;
+      for (std::size_t w = 0; w < row_u.size(); ++w) {
+        if (row_u[w] & row_v[w]) {
+          common = true;
+          break;
+        }
+      }
+      if (!common) return false;
+    }
+  }
+  return true;
+}
+
+RandomnessCertificate certify_gnp(const Graph& g, double p, double c) {
+  RandomnessCertificate cert;
+  const std::size_t n = g.node_count();
+  if (n < 2 || p <= 0.0 || p >= 1.0) return cert;
+  const double expected = p * (static_cast<double>(n) - 1.0);
+
+  // Lemma 1 via Hoeffding: Pr(|d − p(n−1)| ≥ k) ≤ 2·exp(−2k²/(n−1)); a
+  // union bound over n nodes stays below n^−c for
+  // k = √( (n−1)·((c+1)·ln n + ln 2) / 2 ).
+  const double ln_n = std::log(static_cast<double>(n));
+  cert.degree_deviation_bound =
+      std::sqrt((static_cast<double>(n) - 1.0) * ((c + 1.0) * ln_n + std::log(2.0)) / 2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    cert.max_degree_deviation =
+        std::max(cert.max_degree_deviation,
+                 std::abs(static_cast<double>(g.degree(u)) - expected));
+  }
+  cert.degrees_concentrated =
+      cert.max_degree_deviation <= cert.degree_deviation_bound;
+
+  // Lemma 2: complete graphs have diameter 1 and are never random; we
+  // require exactly 2 as the lemma states.
+  const bool complete_graph = g.edge_count() == n * (n - 1) / 2;
+  cert.diameter_two = !complete_graph && has_diameter_at_most_2(g);
+  cert.diameter_bound_witness = complete_graph ? 1 : (cert.diameter_two ? 2 : 3);
+
+  // Lemma 3: each least neighbour covers a p-fraction of the remaining
+  // non-neighbours, so the prefix bound scales by 1/log₂(1/(1−p))
+  // (= 1 at p = 1/2).
+  const double decay = std::log2(1.0 / (1.0 - p));
+  cert.cover_size_bound = static_cast<std::size_t>(std::ceil(
+      (c + 3.0) * std::log2(static_cast<double>(n)) / std::max(decay, 1e-9)));
+  cert.covers_small = true;
+  for (NodeId u = 0; u < n; ++u) {
+    const NeighborCover cover = least_neighbor_cover(g, u);
+    cert.max_cover_size = std::max(cert.max_cover_size, cover.centers.size());
+    if (!cover.complete || cover.centers.size() > cert.cover_size_bound) {
+      cert.covers_small = false;
+    }
+  }
+  return cert;
+}
+
+RandomnessCertificate certify(const Graph& g, double c) {
+  return certify_gnp(g, 0.5, c);
+}
+
+}  // namespace optrt::graph

@@ -1,0 +1,60 @@
+// Randomness certificate: executable checks of the three structural lemmas
+// that every proof in the paper actually uses about Kolmogorov random
+// graphs.
+//
+//   Lemma 1 — every degree d satisfies |d − (n−1)/2| = O(√((δ(n)+log n)·n));
+//   Lemma 2 — diameter exactly 2;
+//   Lemma 3 — from every node u, the (c+3) log n least neighbours of u
+//             dominate all non-neighbours of u.
+//
+// A uniform G(n,1/2) draw fails these with probability ≤ 1/n^c, mirroring
+// the paper's "fraction ≥ 1 − 1/n^c of all graphs". Gate theorem-level code
+// on certify(g).ok() to run only on graphs with exactly the assumed
+// structure — this is the substitution that replaces uncomputable
+// Kolmogorov randomness.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+
+/// Result of certifying one graph against Lemmas 1–3 (with constant c).
+struct RandomnessCertificate {
+  // Lemma 1.
+  double max_degree_deviation = 0.0;  ///< max_u |d(u) − (n−1)/2|
+  double degree_deviation_bound = 0.0;
+  bool degrees_concentrated = false;
+
+  // Lemma 2.
+  std::size_t diameter_bound_witness = 0;  ///< 0/1/2, or 3 meaning "> 2"
+  bool diameter_two = false;
+
+  // Lemma 3.
+  std::size_t max_cover_size = 0;  ///< largest least-neighbour cover prefix
+  std::size_t cover_size_bound = 0;  ///< ⌈(c+3) log₂ n⌉
+  bool covers_small = false;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return degrees_concentrated && diameter_two && covers_small;
+  }
+};
+
+/// Certifies `g` against Lemmas 1–3 with randomness deficiency parameter
+/// c (the paper's c·log n-randomness; default 3, matching the "fraction
+/// 1 − 1/n³" headline).
+[[nodiscard]] RandomnessCertificate certify(const Graph& g, double c = 3.0);
+
+/// Density-generalized certificate: checks the G(n, p) analogues — degrees
+/// concentrate around p(n−1), diameter 2, and the least-neighbour cover
+/// prefix bounded by (c+3)·log n / log(1/(1−p)) (each neighbour covers a
+/// p-fraction of what remains). certify(g, c) is the p = 1/2 case.
+[[nodiscard]] RandomnessCertificate certify_gnp(const Graph& g, double p,
+                                                double c = 3.0);
+
+/// Word-parallel diameter ≤ 2 test: every non-adjacent pair has a common
+/// neighbour. O(n² · n/64).
+[[nodiscard]] bool has_diameter_at_most_2(const Graph& g);
+
+}  // namespace optrt::graph

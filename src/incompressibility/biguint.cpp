@@ -1,0 +1,139 @@
+#include "incompressibility/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace optrt::incompress {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(std::bit_width(limbs_.back()));
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1u;
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  if (other.limbs_.size() > limbs_.size()) {
+    limbs_.resize(other.limbs_.size(), 0);
+  }
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t sum = limbs_[i] + b;
+    const unsigned c1 = sum < limbs_[i] ? 1u : 0u;
+    const std::uint64_t sum2 = sum + carry;
+    const unsigned c2 = sum2 < sum ? 1u : 0u;
+    limbs_[i] = sum2;
+    carry = c1 + c2;
+  }
+  if (carry != 0) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  if (compare(other) == std::strong_ordering::less) {
+    throw std::underflow_error("BigUint: subtraction underflow");
+  }
+  unsigned borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t diff = limbs_[i] - b;
+    const unsigned b1 = limbs_[i] < b ? 1u : 0u;
+    const std::uint64_t diff2 = diff - borrow;
+    const unsigned b2 = diff < borrow ? 1u : 0u;
+    limbs_[i] = diff2;
+    borrow = b1 + b2;
+  }
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::mul_small(std::uint64_t factor) {
+  if (factor == 0 || limbs_.empty()) {
+    limbs_.clear();
+    return *this;
+  }
+  // 64×64 → 128 multiply per limb.
+  unsigned __int128 carry = 0;
+  for (auto& limb : limbs_) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(limb) * factor + carry;
+    limb = static_cast<std::uint64_t>(prod);
+    carry = prod >> 64;
+  }
+  while (carry != 0) {
+    limbs_.push_back(static_cast<std::uint64_t>(carry));
+    carry >>= 64;
+  }
+  return *this;
+}
+
+std::uint64_t BigUint::div_small(std::uint64_t divisor) {
+  if (divisor == 0) throw std::invalid_argument("BigUint: divide by zero");
+  unsigned __int128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const unsigned __int128 cur = (rem << 64) | limbs_[i];
+    limbs_[i] = static_cast<std::uint64_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  trim();
+  return static_cast<std::uint64_t>(rem);
+}
+
+std::strong_ordering BigUint::compare(const BigUint& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+double BigUint::to_double() const noexcept {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return value;
+}
+
+std::string BigUint::to_string() const {
+  if (limbs_.empty()) return "0";
+  BigUint copy = *this;
+  std::string digits;
+  while (!copy.is_zero()) {
+    digits.push_back(static_cast<char>('0' + copy.div_small(10)));
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigUint binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigUint(0);
+  k = std::min(k, n - k);
+  BigUint result(1);
+  // C(n, k) = Π_{i=1..k} (n−k+i)/i; each prefix product is itself a
+  // binomial coefficient, so div_small is always exact.
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result.mul_small(n - k + i);
+    result.div_small(i);
+  }
+  return result;
+}
+
+}  // namespace optrt::incompress

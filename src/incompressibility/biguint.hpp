@@ -1,0 +1,67 @@
+// Arbitrary-precision unsigned integers, sized for enumerative coding of
+// graph rows: binomial coefficients C(n, k) with n ≈ 2¹¹ (≈ 2000-bit
+// values). Implemented from scratch — only the operations the codecs need.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optrt::incompress {
+
+/// Little-endian base-2⁶⁴ unsigned integer.
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal interop
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// Number of bits in the binary representation (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Bit i (LSB = 0).
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  BigUint& operator+=(const BigUint& other);
+  /// Precondition: *this >= other.
+  BigUint& operator-=(const BigUint& other);
+  /// Multiply in place by a small factor.
+  BigUint& mul_small(std::uint64_t factor);
+  /// Divide in place by a small divisor (must divide exactly for the
+  /// binomial recurrences used here; remainder is returned).
+  std::uint64_t div_small(std::uint64_t divisor);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+
+  [[nodiscard]] std::strong_ordering compare(const BigUint& other) const noexcept;
+  friend std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) noexcept {
+    return a.compare(b);
+  }
+  friend bool operator==(const BigUint& a, const BigUint& b) noexcept {
+    return a.limbs_ == b.limbs_;
+  }
+
+  /// Approximate double value (may overflow to +inf); reporting only.
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Value as decimal string (tests / reporting).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Fits in a u64?
+  [[nodiscard]] bool fits_u64() const noexcept { return limbs_.size() <= 1; }
+  [[nodiscard]] std::uint64_t as_u64() const noexcept {
+    return limbs_.empty() ? 0 : limbs_[0];
+  }
+
+ private:
+  void trim();
+  std::vector<std::uint64_t> limbs_;  // empty = 0
+};
+
+/// Binomial coefficient C(n, k) computed exactly.
+[[nodiscard]] BigUint binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace optrt::incompress

@@ -1,0 +1,70 @@
+#include "incompressibility/bounds.hpp"
+
+#include <cmath>
+
+namespace optrt::incompress {
+
+namespace {
+double lg(double x) noexcept { return std::log2(x); }
+}  // namespace
+
+double theorem1_per_node_bound(std::size_t n, bool neighbors_known) noexcept {
+  const double dn = static_cast<double>(n);
+  return neighbors_known ? 6.0 * dn : 7.0 * dn;
+}
+
+double theorem2_total_bound(std::size_t n, double c) noexcept {
+  const double dn = static_cast<double>(n);
+  const double l = lg(dn);
+  return (c + 3.0) * dn * l * l + dn * l;
+}
+
+double theorem3_total_bound(std::size_t n, double c) noexcept {
+  const double dn = static_cast<double>(n);
+  return (6.0 * c + 20.0) * dn * lg(dn);
+}
+
+double theorem4_total_bound(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * lg(std::max(2.0, lg(dn))) + 6.0 * dn;
+}
+
+double theorem5_stretch_bound(std::size_t n, double c) noexcept {
+  return 2.0 * (c + 3.0) * lg(static_cast<double>(n));
+}
+
+double theorem6_per_node_bound(std::size_t n) noexcept {
+  return static_cast<double>(n) / 2.0;
+}
+
+double theorem7_total_bound(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn / 32.0;
+}
+
+double theorem8_per_node_bound(std::size_t n) noexcept {
+  const double half = static_cast<double>(n) / 2.0;
+  return half * lg(std::max(2.0, half));
+}
+
+double theorem9_per_node_bound(std::size_t n) noexcept {
+  const double third = static_cast<double>(n) / 3.0;
+  return third * lg(static_cast<double>(n));
+}
+
+double theorem10_per_node_bound(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn / 4.0;
+}
+
+double trivial_table_bound(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn * lg(dn);
+}
+
+double trivial_full_information_bound(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn;
+}
+
+}  // namespace optrt::incompress

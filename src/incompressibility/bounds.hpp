@@ -1,0 +1,47 @@
+// Closed-form evaluations of the paper's bounds, used by the bench harness
+// to print "paper" columns next to measured numbers (Table 1, Theorems
+// 1–10, Corollary 1).
+#pragma once
+
+#include <cstddef>
+
+namespace optrt::incompress {
+
+/// Theorem 1: ≤ 6n bits per node (≤ 7n under IB), 6n² total.
+[[nodiscard]] double theorem1_per_node_bound(std::size_t n,
+                                             bool neighbors_known) noexcept;
+
+/// Theorem 2: (c+3)·n·log²n + n·log n + O(n) total (labels dominate).
+[[nodiscard]] double theorem2_total_bound(std::size_t n, double c = 3.0) noexcept;
+
+/// Theorem 3: < (6c+20)·n·log n total.
+[[nodiscard]] double theorem3_total_bound(std::size_t n, double c = 3.0) noexcept;
+
+/// Theorem 4: n·loglog n + 6n total.
+[[nodiscard]] double theorem4_total_bound(std::size_t n) noexcept;
+
+/// Theorem 5: O(n) total; stretch bound 2(c+3)·log n.
+[[nodiscard]] double theorem5_stretch_bound(std::size_t n, double c = 3.0) noexcept;
+
+/// Theorem 6: ≥ n/2 − o(n) bits per node (model II∧α).
+[[nodiscard]] double theorem6_per_node_bound(std::size_t n) noexcept;
+
+/// Theorem 7: ≥ n²/32 − o(n²) bits total (models IA ∨ IB).
+[[nodiscard]] double theorem7_total_bound(std::size_t n) noexcept;
+
+/// Theorem 8: ≥ (n/2)·log(n/2) − O(n) bits per node (model IA∧α).
+[[nodiscard]] double theorem8_per_node_bound(std::size_t n) noexcept;
+
+/// Theorem 9: ≥ (n/3)·log n − O(n) bits per node at n/3 nodes;
+/// (n²/9)·log n − O(n²) total.
+[[nodiscard]] double theorem9_per_node_bound(std::size_t n) noexcept;
+
+/// Theorem 10: ≥ n²/4 − o(n²) bits per node (full information, model α).
+[[nodiscard]] double theorem10_per_node_bound(std::size_t n) noexcept;
+
+/// Trivial upper bounds the averages are computed against: n²·log n for
+/// shortest path tables, n³ for full information.
+[[nodiscard]] double trivial_table_bound(std::size_t n) noexcept;
+[[nodiscard]] double trivial_full_information_bound(std::size_t n) noexcept;
+
+}  // namespace optrt::incompress

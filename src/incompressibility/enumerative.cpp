@@ -1,0 +1,88 @@
+#include "incompressibility/enumerative.hpp"
+
+#include <stdexcept>
+
+#include "bitio/codes.hpp"
+
+namespace optrt::incompress {
+
+BigUint rank_fixed_weight(const bitio::BitVector& bits) {
+  BigUint rank(0);
+  std::size_t i = 0;  // index of the next one-bit (1-based in the formula)
+  // Maintain C(p, i) incrementally as p advances? Positions vary; compute
+  // each C(pᵢ, i) by the multiplicative formula — k terms of k factors is
+  // fine at these sizes.
+  for (std::size_t p = 0; p < bits.size(); ++p) {
+    if (bits.get(p)) {
+      ++i;
+      rank += binomial(p, i);
+    }
+  }
+  return rank;
+}
+
+bitio::BitVector unrank_fixed_weight(std::size_t n, std::size_t k,
+                                     const BigUint& rank) {
+  if (!(rank < binomial(n, k))) {
+    throw std::out_of_range("unrank_fixed_weight: rank out of range");
+  }
+  bitio::BitVector bits(n);
+  BigUint remaining = rank;
+  // Standard greedy: for i = k down to 1, the i-th one sits at the largest
+  // p with C(p, i) <= remaining.
+  std::size_t p = n;  // exclusive upper bound for the next position
+  for (std::size_t i = k; i >= 1; --i) {
+    // Walk p downward; C(p, i) decreases with p.
+    std::size_t pos = p;
+    while (pos > 0) {
+      --pos;
+      if (!(remaining < binomial(pos, i))) break;
+    }
+    bits.set(pos, true);
+    remaining -= binomial(pos, i);
+    p = pos;
+  }
+  if (!remaining.is_zero()) {
+    throw std::logic_error("unrank_fixed_weight: nonzero residue");
+  }
+  return bits;
+}
+
+std::size_t fixed_weight_code_bits(std::size_t n, std::size_t k) {
+  const BigUint count = binomial(n, k);
+  if (count.compare(BigUint(1)) != std::strong_ordering::greater) return 0;
+  // ⌈log₂ count⌉ = bit_length(count − 1).
+  BigUint max_rank = count;
+  max_rank -= BigUint(1);
+  return max_rank.bit_length();
+}
+
+void write_fixed_weight(bitio::BitWriter& w, const bitio::BitVector& bits) {
+  const std::size_t n = bits.size();
+  const std::size_t k = bits.popcount();
+  w.write_bits(k, bitio::ceil_log2_plus1(n));
+  const std::size_t width = fixed_weight_code_bits(n, k);
+  const BigUint rank = rank_fixed_weight(bits);
+  for (std::size_t i = 0; i < width; ++i) w.write_bit(rank.bit(i));
+}
+
+bitio::BitVector read_fixed_weight(bitio::BitReader& r, std::size_t n) {
+  const auto k =
+      static_cast<std::size_t>(r.read_bits(bitio::ceil_log2_plus1(n)));
+  const std::size_t width = fixed_weight_code_bits(n, k);
+  BigUint rank(0);
+  // Rebuild the BigUint from its bits via doubling (MSB-first fold).
+  std::vector<bool> raw(width);
+  for (std::size_t i = 0; i < width; ++i) raw[i] = r.read_bit();
+  for (std::size_t i = width; i-- > 0;) {
+    rank.mul_small(2);
+    if (raw[i]) rank += BigUint(1);
+  }
+  return unrank_fixed_weight(n, k, rank);
+}
+
+std::size_t fixed_weight_total_bits(std::size_t n, std::size_t k) {
+  return bitio::ceil_log2_plus1(n) + fixed_weight_code_bits(n, k);
+}
+
+}  // namespace optrt::incompress

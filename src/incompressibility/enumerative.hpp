@@ -1,0 +1,46 @@
+// Enumerative (index-in-ensemble) coding of fixed-weight bit strings — the
+// exact tool Lemma 1's proof uses: "the index of the interconnection
+// pattern in the ensemble of m possibilities", where the ensemble is all
+// strings of the same length and weight.
+//
+// We use the combinatorial number system: a string with ones at positions
+// p₁ < p₂ < … < p_k has rank Σᵢ C(pᵢ, i), a bijection onto
+// {0, …, C(n,k)−1}. The code length for the index is ⌈log₂ C(n, k)⌉ bits —
+// for deviant weights this beats the literal n bits by exactly the Chernoff
+// exponent, which is what makes the incompressibility argument fire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/bit_vector.hpp"
+#include "incompressibility/biguint.hpp"
+
+namespace optrt::incompress {
+
+/// Rank of `bits` among all strings of its length with the same popcount
+/// (combinatorial number system, increasing position order).
+[[nodiscard]] BigUint rank_fixed_weight(const bitio::BitVector& bits);
+
+/// Inverse: the `rank`-th string of length `n` with `k` ones.
+/// Throws std::out_of_range if rank ≥ C(n, k).
+[[nodiscard]] bitio::BitVector unrank_fixed_weight(std::size_t n,
+                                                   std::size_t k,
+                                                   const BigUint& rank);
+
+/// Exact index-code length: ⌈log₂ C(n, k)⌉ (0 when C(n,k) ≤ 1).
+[[nodiscard]] std::size_t fixed_weight_code_bits(std::size_t n, std::size_t k);
+
+/// Writes `bits` as (weight in ⌈log₂(n+1)⌉ bits, index at the exact
+/// fixed-weight width); the length n must be known to the reader.
+void write_fixed_weight(bitio::BitWriter& w, const bitio::BitVector& bits);
+
+/// Reads a string of length `n` written by write_fixed_weight.
+[[nodiscard]] bitio::BitVector read_fixed_weight(bitio::BitReader& r,
+                                                 std::size_t n);
+
+/// Total cost of write_fixed_weight for an n-bit string of weight k.
+[[nodiscard]] std::size_t fixed_weight_total_bits(std::size_t n, std::size_t k);
+
+}  // namespace optrt::incompress

@@ -1,0 +1,115 @@
+#include "incompressibility/permutation_code.hpp"
+
+#include <stdexcept>
+
+namespace optrt::incompress {
+
+namespace {
+
+BigUint factorial(std::size_t d) {
+  BigUint f(1);
+  for (std::size_t i = 2; i <= d; ++i) f.mul_small(i);
+  return f;
+}
+
+}  // namespace
+
+BigUint rank_permutation(const std::vector<std::uint32_t>& perm) {
+  const std::size_t d = perm.size();
+  // rank = Σ_i lehmer_i · (d−1−i)!, lehmer_i = #{j > i : perm[j] < perm[i]}.
+  BigUint rank(0);
+  BigUint radix = factorial(d == 0 ? 0 : d - 1);
+  std::vector<bool> used(d, false);
+  for (std::size_t i = 0; i < d; ++i) {
+    std::uint32_t smaller = 0;
+    for (std::uint32_t x = 0; x < perm[i]; ++x) {
+      if (!used[x]) ++smaller;
+    }
+    used[perm[i]] = true;
+    BigUint term = radix;
+    term.mul_small(smaller);
+    rank += term;
+    if (i + 1 < d) radix.div_small(d - 1 - i);
+  }
+  return rank;
+}
+
+std::vector<std::uint32_t> unrank_permutation(std::size_t d,
+                                              const BigUint& rank) {
+  if (!(rank < factorial(d))) {
+    throw std::out_of_range("unrank_permutation: rank >= d!");
+  }
+  std::vector<std::uint32_t> perm(d);
+  std::vector<std::uint32_t> pool(d);
+  for (std::uint32_t i = 0; i < d; ++i) pool[i] = i;
+  BigUint remaining = rank;
+  BigUint radix = factorial(d == 0 ? 0 : d - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    // digit = remaining / radix (digits < d, so a small loop suffices).
+    std::uint32_t digit = 0;
+    while (!(remaining < radix)) {
+      remaining -= radix;
+      ++digit;
+    }
+    perm[i] = pool[digit];
+    pool.erase(pool.begin() + digit);
+    if (i + 1 < d) radix.div_small(d - 1 - i);
+  }
+  return perm;
+}
+
+std::size_t permutation_code_bits(std::size_t d) {
+  BigUint f = factorial(d);
+  if (f.compare(BigUint(1)) != std::strong_ordering::greater) return 0;
+  f -= BigUint(1);
+  return f.bit_length();
+}
+
+void write_permutation(bitio::BitWriter& w,
+                       const std::vector<std::uint32_t>& perm) {
+  const std::size_t width = permutation_code_bits(perm.size());
+  const BigUint rank = rank_permutation(perm);
+  for (std::size_t i = 0; i < width; ++i) w.write_bit(rank.bit(i));
+}
+
+std::vector<std::uint32_t> read_permutation(bitio::BitReader& r,
+                                            std::size_t d) {
+  const std::size_t width = permutation_code_bits(d);
+  std::vector<bool> raw(width);
+  for (std::size_t i = 0; i < width; ++i) raw[i] = r.read_bit();
+  BigUint rank(0);
+  for (std::size_t i = width; i-- > 0;) {
+    rank.mul_small(2);
+    if (raw[i]) rank += BigUint(1);
+  }
+  // The top code point may exceed d!−1 when d! is not a power of two;
+  // clamp is wrong — reject instead (writers never produce it).
+  return unrank_permutation(d, rank);
+}
+
+std::size_t payload_capacity_bits(std::size_t d) {
+  // ⌊log₂ d!⌋ = bit_length(d!) − 1.
+  const BigUint f = factorial(d);
+  return f.bit_length() == 0 ? 0 : f.bit_length() - 1;
+}
+
+std::vector<std::uint32_t> embed_payload(std::size_t d,
+                                         const bitio::BitVector& payload) {
+  const std::size_t capacity = payload_capacity_bits(d);
+  BigUint rank(0);
+  for (std::size_t i = std::min(capacity, payload.size()); i-- > 0;) {
+    rank.mul_small(2);
+    if (payload.get(i)) rank += BigUint(1);
+  }
+  return unrank_permutation(d, rank);  // rank < 2^⌊log d!⌋ ≤ d!
+}
+
+bitio::BitVector extract_payload(const std::vector<std::uint32_t>& perm) {
+  const std::size_t capacity = payload_capacity_bits(perm.size());
+  const BigUint rank = rank_permutation(perm);
+  bitio::BitVector payload(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) payload.set(i, rank.bit(i));
+  return payload;
+}
+
+}  // namespace optrt::incompress

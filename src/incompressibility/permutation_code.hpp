@@ -1,0 +1,50 @@
+// Optimal permutation coding (Lehmer / factorial number system), exact to
+// ⌈log₂ d!⌉ bits.
+//
+// Two places in the paper reduce to "a permutation is worth log d! bits":
+//
+//  · Footnote 1 — model II with free port assignment is degenerate because
+//    the port permutation itself is a free d·log d-bit channel: we encode
+//    arbitrary payloads into a port assignment and read them back.
+//  · Theorem 8 — with adversarial fixed ports the routing function must
+//    reproduce the permutation, so log₂ d! bits are *necessary*; this codec
+//    shows they are also *sufficient*: the permutation part of the function
+//    can be stored at exactly the counting bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/bit_stream.hpp"
+#include "incompressibility/biguint.hpp"
+
+namespace optrt::incompress {
+
+/// Rank of a permutation of {0..d−1} in lexicographic order (Lehmer code),
+/// a bijection onto {0, …, d!−1}.
+[[nodiscard]] BigUint rank_permutation(const std::vector<std::uint32_t>& perm);
+
+/// Inverse: the `rank`-th permutation of {0..d−1}.
+/// Throws std::out_of_range if rank ≥ d!.
+[[nodiscard]] std::vector<std::uint32_t> unrank_permutation(std::size_t d,
+                                                            const BigUint& rank);
+
+/// Exact storage: ⌈log₂ d!⌉ bits.
+[[nodiscard]] std::size_t permutation_code_bits(std::size_t d);
+
+/// Writes a permutation at the exact width (the reader must know d).
+void write_permutation(bitio::BitWriter& w,
+                       const std::vector<std::uint32_t>& perm);
+[[nodiscard]] std::vector<std::uint32_t> read_permutation(bitio::BitReader& r,
+                                                          std::size_t d);
+
+/// Footnote 1 made executable: embeds the first
+/// payload_capacity_bits(d) = ⌊log₂ d!⌋ bits of `payload` into a
+/// permutation of {0..d−1} (a port assignment), recoverable exactly.
+[[nodiscard]] std::vector<std::uint32_t> embed_payload(
+    std::size_t d, const bitio::BitVector& payload);
+[[nodiscard]] bitio::BitVector extract_payload(
+    const std::vector<std::uint32_t>& perm);
+[[nodiscard]] std::size_t payload_capacity_bits(std::size_t d);
+
+}  // namespace optrt::incompress

@@ -1,0 +1,36 @@
+// Theorem 10's description scheme: a *full-information* routing function
+// F(u) names, for every destination w, all edges of u on shortest u→w
+// paths. On a diameter-2 graph, for a non-neighbour w those edges are
+// exactly {uv : v ∈ N(u), vw ∈ E} — so F(u) determines EVERY bit {v, w}
+// with v ∈ N(u), w ∉ N(u) ∪ {u}: about n²/4 of them. Deleting them from
+// E(G) and invoking incompressibility forces |F(u)| ≥ n²/4 − o(n²).
+#pragma once
+
+#include <cstddef>
+
+#include "bitio/bit_vector.hpp"
+#include "graph/graph.hpp"
+#include "incompressibility/lemma_codecs.hpp"
+
+namespace optrt::incompress {
+
+struct Theorem10Result {
+  Description description;
+  std::size_t function_bits = 0;      ///< |F(u)| = n·d(u) matrix bits
+  std::size_t deleted_edge_bits = 0;  ///< ≈ d(u)·(n−1−d(u))
+  /// Any full-information F(u) decodable this way must occupy at least
+  /// this many bits on an incompressible graph (Theorem 10's n²/4 − o(n²)).
+  [[nodiscard]] std::ptrdiff_t implied_function_lower_bound() const noexcept {
+    return description.savings() + static_cast<std::ptrdiff_t>(function_bits);
+  }
+};
+
+/// Encodes E(G) through node u's full-information matrix (sorted ports).
+/// Requires diameter ≤ 2 (throws std::invalid_argument otherwise).
+[[nodiscard]] Theorem10Result theorem10_encode(const graph::Graph& g, NodeId u);
+
+/// Exact inverse.
+[[nodiscard]] graph::Graph theorem10_decode(const bitio::BitVector& bits,
+                                            std::size_t n);
+
+}  // namespace optrt::incompress

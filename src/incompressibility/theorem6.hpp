@@ -1,0 +1,43 @@
+// Theorem 6's description scheme: a shortest-path routing function F(u)
+// (model II∧α) reveals, for every non-neighbour w of u, one edge {v, w}
+// with v the intermediary F(u) routes through — so those |A₀| ≈ n/2 bits
+// (plus u's own row) can be deleted from E(G). On random graphs E(G) is
+// incompressible, forcing |F(u)| ≥ n/2 − o(n).
+//
+// The codec instantiates F(u) as the Theorem 1 compact node table and
+// round-trips exactly; `implied_function_lower_bound` is the number of bits
+// ANY routing function encoded this way must occupy on an incompressible
+// graph.
+#pragma once
+
+#include <cstddef>
+
+#include "bitio/bit_vector.hpp"
+#include "graph/graph.hpp"
+#include "incompressibility/lemma_codecs.hpp"
+#include "schemes/compact_node.hpp"
+
+namespace optrt::incompress {
+
+struct Theorem6Result {
+  Description description;
+  std::size_t function_bits = 0;       ///< |F(u)| actually stored
+  std::size_t deleted_edge_bits = 0;   ///< bits recovered from F(u) (= |A₀|)
+  std::size_t overhead_bits = 0;       ///< id + row + self-delimiting costs
+  /// deleted + row − overhead: any F(u) decodable by this scheme satisfies
+  /// |F(u)| ≥ this on an incompressible graph (Theorem 6's n/2 − o(n)).
+  [[nodiscard]] std::ptrdiff_t implied_function_lower_bound() const noexcept;
+};
+
+/// Encodes E(G) through node u's compact routing function. Throws
+/// SchemeInapplicable when u lacks the Theorem 1 structure.
+[[nodiscard]] Theorem6Result theorem6_encode(
+    const graph::Graph& g, NodeId u,
+    const schemes::CompactNodeOptions& opt = {});
+
+/// Exact inverse.
+[[nodiscard]] graph::Graph theorem6_decode(
+    const bitio::BitVector& bits, std::size_t n,
+    const schemes::CompactNodeOptions& opt = {});
+
+}  // namespace optrt::incompress

@@ -1,0 +1,78 @@
+// Theorem 7 (models IA ∨ IB: neighbours unknown): Claim 2 and Claim 3 made
+// executable.
+//
+// Claim 2 — for x₁..x_k ≥ 1 with Σxᵢ = n: Σ⌈log xᵢ⌉ ≤ n − k.
+//
+// Claim 3 — given all labels, a node's interconnection pattern can be
+// described by its local routing function plus few extra bits: apply F(u)
+// to every label to get, per port, the list of destinations routed over
+// it; then spend ⌈log xᵢ⌉ bits per port to say which destination is the
+// actual neighbour. We encode/decode exactly that, querying the scheme's
+// table bits as the oracle.
+//
+// On a random graph the interconnection pattern of u carries ≈ n−1 bits, so
+// |F(u)| must make up the difference — Theorem 7's n²/32 total.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bitio/bit_vector.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::incompress {
+
+/// Claim 2's left-hand side: Σ⌈log₂ xᵢ⌉ (xᵢ ≥ 1).
+[[nodiscard]] std::size_t claim2_sum(const std::vector<std::size_t>& xs);
+
+/// Claim 2's bound: Σxᵢ − k.
+[[nodiscard]] std::size_t claim2_bound(const std::vector<std::size_t>& xs);
+
+struct Claim3Encoding {
+  bitio::BitVector bits;            ///< Σ⌈log xᵢ⌉ rank bits
+  std::vector<std::size_t> per_port_destinations;  ///< the xᵢ
+};
+
+/// Encodes the interconnection pattern (the set of neighbours, per port) of
+/// node `u` given query access to its full-table routing function.
+[[nodiscard]] Claim3Encoding claim3_encode(const schemes::FullTableScheme& scheme,
+                                           graph::NodeId u);
+
+/// Decodes: returns the neighbour on each port of `u`, reconstructed from
+/// the routing function and the rank bits alone.
+[[nodiscard]] std::vector<graph::NodeId> claim3_decode(
+    const schemes::FullTableScheme& scheme, graph::NodeId u,
+    const bitio::BitVector& bits);
+
+// --- The full Theorem 7 description ------------------------------------------
+//
+// Describe E(G) *given the routing scheme*: for the n/2 least nodes ship
+// only their Claim 3 rank bits (their complete rows follow from their
+// routing functions); for the remaining n/2 nodes ship their mutual edges
+// literally. The savings over the standard n(n−1)/2-bit encoding measure
+// how much information about G the routing scheme itself must carry — on
+// an incompressible graph, Ω(n²) bits (Theorem 7's n²/32, with a better
+// constant here because the description is tighter).
+
+struct Theorem7Aggregate {
+  bitio::BitVector bits;
+  std::size_t original_bits = 0;   ///< n(n−1)/2
+  std::size_t selected_nodes = 0;  ///< ⌈n/2⌉
+  std::size_t claim3_bits = 0;     ///< Σ rank bits over selected nodes
+
+  [[nodiscard]] std::ptrdiff_t savings() const noexcept {
+    return static_cast<std::ptrdiff_t>(original_bits) -
+           static_cast<std::ptrdiff_t>(bits.size());
+  }
+};
+
+/// Conditional encoding of E(G) given query access to `scheme`'s tables.
+[[nodiscard]] Theorem7Aggregate theorem7_encode(
+    const schemes::FullTableScheme& scheme, const graph::Graph& g);
+
+/// Exact inverse (requires the same scheme).
+[[nodiscard]] graph::Graph theorem7_decode(
+    const schemes::FullTableScheme& scheme, const bitio::BitVector& bits,
+    std::size_t n);
+
+}  // namespace optrt::incompress

@@ -1,0 +1,27 @@
+#include "incompressibility/theorem8.hpp"
+
+#include <cmath>
+
+#include "bitio/bit_stream.hpp"
+
+namespace optrt::incompress {
+
+std::vector<graph::PortId> recover_port_permutation(
+    const schemes::FullTableScheme& scheme, graph::NodeId u,
+    const std::vector<graph::NodeId>& sorted_neighbors) {
+  const unsigned width = scheme.entry_width(u);
+  std::vector<graph::PortId> ports;
+  ports.reserve(sorted_neighbors.size());
+  for (graph::NodeId v : sorted_neighbors) {
+    bitio::BitReader r(scheme.function_bits(u));
+    r.seek(static_cast<std::size_t>(scheme.label_of(v)) * width);
+    ports.push_back(static_cast<graph::PortId>(r.read_bits(width)));
+  }
+  return ports;
+}
+
+double log2_factorial(std::size_t d) noexcept {
+  return std::lgamma(static_cast<double>(d) + 1.0) / std::log(2.0);
+}
+
+}  // namespace optrt::incompress

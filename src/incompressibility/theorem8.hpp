@@ -1,0 +1,29 @@
+// Theorem 8 (model IA∧α): when the adversary fixes the port assignment to
+// an arbitrary permutation of the neighbours and neighbours are unknown,
+// every correct shortest-path routing function must reproduce that
+// permutation — |F(u)| ≥ log₂(d(u)!) ≈ (n/2)·log(n/2) bits per node.
+//
+// The demonstration: query the serialized table of node u with each
+// neighbour's label; a shortest-path function must answer the direct port,
+// so the full port permutation is recovered from F(u) alone. Counting the
+// d! possible assignments gives the bound, computed exactly here.
+#pragma once
+
+#include <vector>
+
+#include "graph/ports.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::incompress {
+
+/// Recovers, for each neighbour of `u` in increasing order, the port F(u)
+/// assigns it — reading only the table bits.
+[[nodiscard]] std::vector<graph::PortId> recover_port_permutation(
+    const schemes::FullTableScheme& scheme, graph::NodeId u,
+    const std::vector<graph::NodeId>& sorted_neighbors);
+
+/// log₂(d!) via exact big-integer factorial bit length is overkill; the
+/// Stirling-exact lgamma form is used: log₂ Γ(d+1).
+[[nodiscard]] double log2_factorial(std::size_t d) noexcept;
+
+}  // namespace optrt::incompress

@@ -1,0 +1,31 @@
+#include "incompressibility/theorem9.hpp"
+
+#include <stdexcept>
+
+namespace optrt::incompress {
+
+std::vector<graph::NodeId> recover_top_permutation(
+    const model::RoutingScheme& scheme, std::size_t k, graph::NodeId b) {
+  std::vector<graph::NodeId> perm(k, 0);
+  std::vector<bool> assigned(k, false);
+  for (std::size_t j = 0; j < k; ++j) {
+    model::MessageHeader header;
+    const auto top_label =
+        scheme.label_of(static_cast<graph::NodeId>(2 * k + j));
+    const graph::NodeId hop = scheme.next_hop(b, top_label, header);
+    if (hop < k || hop >= 2 * k) {
+      throw std::logic_error(
+          "recover_top_permutation: first hop is not a middle node (stretch "
+          ">= 2)");
+    }
+    const std::size_t i = hop - k;
+    if (assigned[i]) {
+      throw std::logic_error("recover_top_permutation: duplicate partner");
+    }
+    assigned[i] = true;
+    perm[i] = static_cast<graph::NodeId>(j);
+  }
+  return perm;
+}
+
+}  // namespace optrt::incompress

@@ -1,0 +1,26 @@
+// Theorem 9 (worst case, model α): the explicit graph G_B of Figure 1.
+//
+// In G_B with a planted top-row permutation τ, the shortest path from any
+// bottom node b to top node 2k+j runs through the unique middle partner,
+// and every other path has length ≥ 4 — so any routing scheme with stretch
+// < 2 must, at b, map j to that partner. Querying b's routing function for
+// all k top labels therefore *recovers τ*: k! distinguishable functions,
+// hence ≥ log₂ k! = k log k − O(k) bits at each of the k bottom nodes.
+#pragma once
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "model/scheme.hpp"
+
+namespace optrt::incompress {
+
+/// Recovers the planted permutation from the routing behaviour of bottom
+/// node `b` (< k) of a stretch-<2 scheme on lower_bound_gb_permuted(k, τ):
+/// result[i] = j iff middle node k+i partners top node 2k+j.
+/// Throws std::logic_error if some answer is not a middle node (i.e. the
+/// scheme's stretch is ≥ 2 on this pair).
+[[nodiscard]] std::vector<graph::NodeId> recover_top_permutation(
+    const model::RoutingScheme& scheme, std::size_t k, graph::NodeId b = 0);
+
+}  // namespace optrt::incompress

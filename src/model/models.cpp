@@ -1,0 +1,46 @@
+#include "model/models.hpp"
+
+namespace optrt::model {
+
+std::string to_string(Knowledge k) {
+  switch (k) {
+    case Knowledge::kFixedPorts:
+      return "IA";
+    case Knowledge::kFreePorts:
+      return "IB";
+    case Knowledge::kNeighborsKnown:
+      return "II";
+  }
+  return "?";
+}
+
+std::string to_string(Relabeling r) {
+  switch (r) {
+    case Relabeling::kNone:
+      return "alpha";
+    case Relabeling::kPermutation:
+      return "beta";
+    case Relabeling::kArbitrary:
+      return "gamma";
+  }
+  return "?";
+}
+
+std::string Model::name() const {
+  return to_string(knowledge) + "." + to_string(relabeling);
+}
+
+std::array<Model, 9> Model::all() {
+  std::array<Model, 9> out{};
+  std::size_t i = 0;
+  for (Knowledge k :
+       {Knowledge::kFixedPorts, Knowledge::kFreePorts, Knowledge::kNeighborsKnown}) {
+    for (Relabeling r :
+         {Relabeling::kNone, Relabeling::kPermutation, Relabeling::kArbitrary}) {
+      out[i++] = Model{k, r};
+    }
+  }
+  return out;
+}
+
+}  // namespace optrt::model

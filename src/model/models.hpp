@@ -1,0 +1,78 @@
+// The nine routing models of §1.
+//
+// Two orthogonal dimensions. Local knowledge:
+//   IA — ports distinguish incident edges, assignment fixed (cannot be
+//        altered; possibly adversarial);
+//   IB — ports distinguish incident edges, assignment free (the strategy
+//        may re-assign before computing the scheme);
+//   II — nodes know the labels of their neighbours and over which edge to
+//        reach them, for free.
+// Relabelling:
+//   α — nodes keep their labels {0..n−1};
+//   β — labels may be permuted within {0..n−1};
+//   γ — arbitrary labels, charged to the space requirement.
+//
+// (The paper excludes II with free port assignment as degenerate — known
+// neighbours make the port permutation a free n·log n-bit channel — so II
+// always means fixed-but-irrelevant ports.)
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace optrt::model {
+
+enum class Knowledge {
+  kFixedPorts,      // IA
+  kFreePorts,       // IB
+  kNeighborsKnown,  // II
+};
+
+enum class Relabeling {
+  kNone,         // α
+  kPermutation,  // β
+  kArbitrary,    // γ
+};
+
+/// One of the nine models: a (knowledge, relabelling) pair.
+struct Model {
+  Knowledge knowledge = Knowledge::kFixedPorts;
+  Relabeling relabeling = Relabeling::kNone;
+
+  friend bool operator==(const Model&, const Model&) = default;
+
+  /// Paper-style name, e.g. "IA·α", "II·γ".
+  [[nodiscard]] std::string name() const;
+
+  /// True under II: neighbour labels (and the edges to them) are free.
+  [[nodiscard]] bool neighbors_known() const noexcept {
+    return knowledge == Knowledge::kNeighborsKnown;
+  }
+  /// True under IB: the scheme may pick the port assignment.
+  [[nodiscard]] bool ports_free() const noexcept {
+    return knowledge == Knowledge::kFreePorts;
+  }
+  /// True under γ: label bits are charged to the space requirement.
+  [[nodiscard]] bool labels_charged() const noexcept {
+    return relabeling == Relabeling::kArbitrary;
+  }
+
+  /// All nine models, row-major over (knowledge, relabelling).
+  [[nodiscard]] static std::array<Model, 9> all();
+};
+
+[[nodiscard]] std::string to_string(Knowledge k);
+[[nodiscard]] std::string to_string(Relabeling r);
+
+// Shorthands matching the paper's notation.
+inline constexpr Model kIAalpha{Knowledge::kFixedPorts, Relabeling::kNone};
+inline constexpr Model kIAbeta{Knowledge::kFixedPorts, Relabeling::kPermutation};
+inline constexpr Model kIAgamma{Knowledge::kFixedPorts, Relabeling::kArbitrary};
+inline constexpr Model kIBalpha{Knowledge::kFreePorts, Relabeling::kNone};
+inline constexpr Model kIBbeta{Knowledge::kFreePorts, Relabeling::kPermutation};
+inline constexpr Model kIBgamma{Knowledge::kFreePorts, Relabeling::kArbitrary};
+inline constexpr Model kIIalpha{Knowledge::kNeighborsKnown, Relabeling::kNone};
+inline constexpr Model kIIbeta{Knowledge::kNeighborsKnown, Relabeling::kPermutation};
+inline constexpr Model kIIgamma{Knowledge::kNeighborsKnown, Relabeling::kArbitrary};
+
+}  // namespace optrt::model

@@ -1,0 +1,14 @@
+#include "model/scheme.hpp"
+
+#include <bit>
+
+namespace optrt::model {
+
+unsigned MessageHeader::bits_in_flight() const noexcept {
+  // Two phase bits plus the probe index at its natural width.
+  const unsigned index_bits =
+      probe_index == 0 ? 0 : static_cast<unsigned>(std::bit_width(probe_index));
+  return 2 + index_bits;
+}
+
+}  // namespace optrt::model

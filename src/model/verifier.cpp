@@ -1,0 +1,156 @@
+#include "model/verifier.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "graph/generators.hpp"
+
+namespace optrt::model {
+
+namespace {
+
+// Walks one message from src to dst; returns edges traversed (0 = failed)
+// and whether an invalid hop was produced.
+struct WalkOutcome {
+  std::size_t edges = 0;
+  bool invalid_hop = false;
+  bool delivered = false;
+};
+
+WalkOutcome walk(const graph::Graph& g, const RoutingScheme& scheme,
+                 NodeId src, NodeId dst_internal, std::size_t hop_budget) {
+  WalkOutcome out;
+  const NodeId dest_label = scheme.label_of(dst_internal);
+  MessageHeader header;
+  NodeId current = src;
+  while (current != dst_internal) {
+    if (out.edges >= hop_budget) return out;
+    const NodeId next = scheme.next_hop(current, dest_label, header);
+    if (next >= g.node_count() || !g.has_edge(current, next)) {
+      out.invalid_hop = true;
+      return out;
+    }
+    header.came_from = current;
+    current = next;
+    ++out.edges;
+  }
+  out.delivered = true;
+  return out;
+}
+
+}  // namespace
+
+std::size_t route_once(const graph::Graph& g, const RoutingScheme& scheme,
+                       NodeId src, NodeId dst, std::size_t hop_budget) {
+  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
+  const WalkOutcome out = walk(g, scheme, src, dst, hop_budget);
+  return out.delivered ? out.edges : 0;
+}
+
+VerificationResult verify_scheme(const graph::Graph& g,
+                                 const RoutingScheme& scheme,
+                                 std::size_t hop_budget) {
+  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
+  VerificationResult result;
+  const graph::DistanceMatrix dist(g);
+  double stretch_sum = 0.0;
+  std::size_t stretch_pairs = 0;
+
+  const std::size_t n = g.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      ++result.pairs_checked;
+      if (dist.at(u, v) == graph::kUnreachable) {
+        // Disconnected pair: schemes are only required to route within the
+        // connected component; skip.
+        continue;
+      }
+      const WalkOutcome out = walk(g, scheme, u, v, hop_budget);
+      if (out.invalid_hop) {
+        ++result.invalid_hops;
+        ++result.pairs_failed;
+        continue;
+      }
+      if (!out.delivered) {
+        ++result.pairs_failed;
+        continue;
+      }
+      result.total_route_edges += out.edges;
+      result.max_route_edges = std::max(result.max_route_edges, out.edges);
+      const double stretch =
+          static_cast<double>(out.edges) / static_cast<double>(dist.at(u, v));
+      result.max_stretch = std::max(result.max_stretch, stretch);
+      stretch_sum += stretch;
+      ++stretch_pairs;
+    }
+  }
+  result.all_delivered = result.pairs_failed == 0;
+  result.mean_stretch =
+      stretch_pairs == 0 ? 0.0 : stretch_sum / static_cast<double>(stretch_pairs);
+  return result;
+}
+
+VerificationResult verify_scheme_sampled(const graph::Graph& g,
+                                         const RoutingScheme& scheme,
+                                         std::size_t samples,
+                                         std::uint64_t seed,
+                                         std::size_t hop_budget) {
+  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
+  VerificationResult result;
+  const std::size_t n = g.node_count();
+  if (n < 2) {
+    result.all_delivered = true;
+    return result;
+  }
+  graph::Rng rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+  double stretch_sum = 0.0;
+  std::size_t stretch_pairs = 0;
+  // Per-source BFS cache: sampled sources often repeat at small n.
+  std::vector<std::vector<std::uint32_t>> dist_cache(n);
+  while (result.pairs_checked < samples) {
+    const NodeId u = pick(rng);
+    const NodeId v = pick(rng);
+    if (u == v) continue;
+    if (dist_cache[u].empty()) dist_cache[u] = graph::bfs_distances(g, u);
+    const std::uint32_t d = dist_cache[u][v];
+    if (d == graph::kUnreachable) continue;
+    ++result.pairs_checked;
+    const std::size_t edges = route_once(g, scheme, u, v, hop_budget);
+    if (edges == 0) {
+      ++result.pairs_failed;
+      continue;
+    }
+    result.total_route_edges += edges;
+    result.max_route_edges = std::max(result.max_route_edges, edges);
+    const double stretch = static_cast<double>(edges) / d;
+    result.max_stretch = std::max(result.max_stretch, stretch);
+    stretch_sum += stretch;
+    ++stretch_pairs;
+  }
+  result.all_delivered = result.pairs_failed == 0;
+  result.mean_stretch =
+      stretch_pairs == 0 ? 0.0 : stretch_sum / static_cast<double>(stretch_pairs);
+  return result;
+}
+
+FullInformationCheck verify_full_information(
+    const graph::Graph& g, const FullInformationRouting& scheme) {
+  FullInformationCheck check;
+  const graph::DistanceMatrix dist(g);
+  const std::size_t n = g.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || dist.at(u, v) == graph::kUnreachable) continue;
+      auto expected = graph::shortest_path_successors(g, dist, u, v);
+      auto actual = scheme.all_next_hops(u, scheme.label_of(v));
+      std::sort(actual.begin(), actual.end());
+      if (expected != actual) ++check.mismatched_pairs;
+    }
+  }
+  check.exact = check.mismatched_pairs == 0;
+  return check;
+}
+
+}  // namespace optrt::model

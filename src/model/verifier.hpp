@@ -1,0 +1,58 @@
+// Scheme verifier: drives every (source, destination) pair through a
+// scheme's local routing functions hop by hop, checks delivery, and
+// measures the achieved stretch against true shortest-path distances —
+// the definitions of "route" and "stretch factor" from §1 made executable.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "model/scheme.hpp"
+
+namespace optrt::model {
+
+struct VerificationResult {
+  bool all_delivered = false;
+  std::size_t pairs_checked = 0;
+  std::size_t pairs_failed = 0;     ///< undeliverable or hop-budget exceeded
+  std::size_t invalid_hops = 0;     ///< next_hop returned a non-neighbour
+  double max_stretch = 0.0;         ///< max over pairs of |route| / d(u,v)
+  double mean_stretch = 0.0;
+  std::uint64_t total_route_edges = 0;  ///< Σ edges traversed (incl. probes)
+  std::size_t max_route_edges = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return all_delivered && invalid_hops == 0;
+  }
+};
+
+/// Routes every ordered pair (u, v), u != v, through `scheme` on `g`.
+/// A route longer than `hop_budget` edges counts as failed (default: 4n+16,
+/// generous enough for Theorem 5's 2(c+3)·log n probe walks).
+[[nodiscard]] VerificationResult verify_scheme(const graph::Graph& g,
+                                               const RoutingScheme& scheme,
+                                               std::size_t hop_budget = 0);
+
+/// Routes one pair; returns the number of edges traversed, or 0 on failure.
+[[nodiscard]] std::size_t route_once(const graph::Graph& g,
+                                     const RoutingScheme& scheme, NodeId src,
+                                     NodeId dst, std::size_t hop_budget);
+
+/// Sampled verification for large n: routes `samples` uniformly random
+/// connected pairs instead of all n(n−1). Same semantics as verify_scheme
+/// restricted to the sample.
+[[nodiscard]] VerificationResult verify_scheme_sampled(
+    const graph::Graph& g, const RoutingScheme& scheme, std::size_t samples,
+    std::uint64_t seed, std::size_t hop_budget = 0);
+
+/// Checks a full-information scheme: for every pair, the advertised hop set
+/// must equal the true shortest-path successor set.
+struct FullInformationCheck {
+  bool exact = false;
+  std::size_t mismatched_pairs = 0;
+};
+[[nodiscard]] FullInformationCheck verify_full_information(
+    const graph::Graph& g, const FullInformationRouting& scheme);
+
+}  // namespace optrt::model

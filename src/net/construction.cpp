@@ -1,0 +1,47 @@
+#include "net/construction.hpp"
+
+#include <algorithm>
+
+#include "bitio/codes.hpp"
+
+namespace optrt::net {
+
+ConstructionResult distributed_compact_construction(
+    const graph::Graph& g, const schemes::CompactNodeOptions& options) {
+  const std::size_t n = g.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+
+  ConstructionResult result;
+  result.node_tables.resize(n);
+
+  // Round 1: every node v sends its neighbour list over every incident
+  // edge. We account for the traffic and materialize, per receiver, the
+  // local 2-hop view the messages add up to.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    result.messages += d;
+    result.message_bits +=
+        static_cast<std::uint64_t>(d) * d * id_width;  // d messages × d ids
+  }
+
+  for (graph::NodeId u = 0; u < n; ++u) {
+    // u's local view after the exchange: its own edges plus every edge
+    // {v, w} reported by a neighbour v. (Edges between two neighbours are
+    // reported twice; insert once.)
+    graph::Graph view(n);
+    for (graph::NodeId v : g.neighbors(u)) view.add_edge(u, v);
+    for (graph::NodeId v : g.neighbors(u)) {
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (w != u && !view.has_edge(v, w)) view.add_edge(v, w);
+      }
+    }
+    // The Theorem 1 builder only inspects edges incident to u and to u's
+    // neighbours — all present in the view — so this is bit-identical to
+    // the centralized construction.
+    result.node_tables[u] =
+        schemes::build_compact_node(view, u, options).bits;
+  }
+  return result;
+}
+
+}  // namespace optrt::net

@@ -1,0 +1,127 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/encoding.hpp"
+#include "schemes/full_information.hpp"
+
+namespace optrt::net {
+
+Simulator::Simulator(const graph::Graph& g, const model::RoutingScheme& scheme,
+                     SimulatorConfig config)
+    : g_(&g),
+      scheme_(&scheme),
+      full_info_(dynamic_cast<const model::FullInformationRouting*>(&scheme)),
+      config_(config) {
+  if (config_.max_hops == 0) config_.max_hops = 4 * g.node_count() + 16;
+}
+
+std::uint64_t Simulator::send(NodeId source, NodeId destination,
+                              std::uint64_t at_time) {
+  if (source == destination) {
+    throw std::invalid_argument("Simulator::send: source == destination");
+  }
+  MessageRecord record;
+  record.id = records_.size();
+  record.source = source;
+  record.destination = destination;
+  record.send_time = at_time;
+  records_.push_back(record);
+  queue_.push(Event{at_time, next_seq_++, records_.size() - 1, source, {}});
+  return record.id;
+}
+
+void Simulator::fail_link(NodeId u, NodeId v) {
+  failed_links_.insert(graph::edge_index(g_->node_count(), u, v));
+}
+
+void Simulator::restore_link(NodeId u, NodeId v) {
+  failed_links_.erase(graph::edge_index(g_->node_count(), u, v));
+}
+
+bool Simulator::link_up(NodeId u, NodeId v) const {
+  return !failed_links_.contains(graph::edge_index(g_->node_count(), u, v));
+}
+
+std::uint64_t Simulator::link_load(NodeId u, NodeId v) const {
+  const auto it =
+      link_load_.find(static_cast<std::uint64_t>(u) * g_->node_count() + v);
+  return it == link_load_.end() ? 0 : it->second;
+}
+
+std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
+  const MessageRecord& record = records_[e.record_index];
+  const NodeId dest_label = scheme_->label_of(record.destination);
+  if (full_info_ != nullptr) {
+    // Full-information rerouting: mask the down ports and take any
+    // remaining shortest-path edge.
+    const auto* fis =
+        dynamic_cast<const schemes::FullInformationScheme*>(full_info_);
+    if (fis != nullptr) {
+      const auto& ports = fis->ports();
+      std::vector<bool> down(ports.degree(e.at), false);
+      bool any_down = false;
+      for (graph::PortId p = 0; p < down.size(); ++p) {
+        if (!link_up(e.at, ports.neighbor_at(e.at, p))) {
+          down[p] = true;
+          any_down = true;
+        }
+      }
+      if (any_down) {
+        const NodeId hop = fis->next_hop_avoiding(e.at, dest_label, down);
+        if (hop == schemes::FullInformationScheme::kNoRoute) {
+          return std::nullopt;
+        }
+        return hop;
+      }
+    }
+  }
+  const NodeId hop = scheme_->next_hop(e.at, dest_label, e.header);
+  if (!link_up(e.at, hop)) return std::nullopt;
+  return hop;
+}
+
+SimulationStats Simulator::run() {
+  SimulationStats stats;
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    MessageRecord& record = records_[e.record_index];
+    if (e.at == record.destination) {
+      record.delivered = true;
+      record.arrival_time = e.time;
+      ++stats.delivered;
+      stats.total_hops += record.hops;
+      stats.makespan = std::max(stats.makespan, e.time);
+      continue;
+    }
+    if (record.hops >= config_.max_hops) {
+      ++stats.dropped;
+      continue;
+    }
+    const std::optional<NodeId> hop = pick_next_hop(e);
+    if (!hop.has_value()) {
+      record.dropped_on_failure = true;
+      ++stats.dropped;
+      continue;
+    }
+    ++record.hops;
+    e.header.came_from = e.at;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(e.at) * g_->node_count() + *hop;
+    const std::uint64_t load = ++link_load_[key];
+    stats.max_link_load = std::max(stats.max_link_load, load);
+    std::uint64_t depart = e.time;
+    if (config_.serialize_links) {
+      std::uint64_t& free_at = link_free_at_[key];
+      depart = std::max(depart, free_at);
+      free_at = depart + config_.link_latency;
+    }
+    queue_.push(Event{depart + config_.link_latency, next_seq_++,
+                      e.record_index, *hop, e.header});
+  }
+  return stats;
+}
+
+}  // namespace optrt::net

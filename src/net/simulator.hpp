@@ -1,0 +1,116 @@
+// Discrete-event message-passing simulator: the operational semantics of
+// §1's routing model. Messages travel hop by hop; at each node the local
+// routing function picks the outgoing edge; the carrier maintains the
+// arrival link (`came_from`). Full-information schemes reroute around
+// failed links — the exact capability §1 motivates them with.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "model/scheme.hpp"
+
+namespace optrt::net {
+
+using graph::NodeId;
+
+struct SimulatorConfig {
+  /// Per-link transit time (all links equal; the paper's networks are
+  /// unweighted).
+  std::uint64_t link_latency = 1;
+  /// Messages exceeding this many edges are dropped (guards probe loops).
+  std::size_t max_hops = 0;  ///< 0 = 4n+16
+  /// Store-and-forward congestion: each directed link transmits one
+  /// message per link_latency window; others queue FIFO. Makes hotspot
+  /// concentration visible (e.g. Theorem 4's hub under load).
+  bool serialize_links = false;
+};
+
+/// Outcome of one message.
+struct MessageRecord {
+  std::uint64_t id = 0;
+  NodeId source = 0;
+  NodeId destination = 0;
+  bool delivered = false;
+  bool dropped_on_failure = false;  ///< no usable outgoing link
+  std::size_t hops = 0;
+  std::uint64_t send_time = 0;
+  std::uint64_t arrival_time = 0;
+};
+
+struct SimulationStats {
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t makespan = 0;       ///< last arrival time
+  std::uint64_t max_link_load = 0;  ///< most messages over one directed link
+
+  [[nodiscard]] double mean_hops() const noexcept {
+    return delivered == 0
+               ? 0.0
+               : static_cast<double>(total_hops) / static_cast<double>(delivered);
+  }
+};
+
+/// Event-driven simulator over a fixed graph and routing scheme.
+class Simulator {
+ public:
+  Simulator(const graph::Graph& g, const model::RoutingScheme& scheme,
+            SimulatorConfig config = {});
+
+  /// Enqueues a message; returns its id.
+  std::uint64_t send(NodeId source, NodeId destination,
+                     std::uint64_t at_time = 0);
+
+  /// Marks the undirected link {u, v} down / up.
+  void fail_link(NodeId u, NodeId v);
+  void restore_link(NodeId u, NodeId v);
+  [[nodiscard]] bool link_up(NodeId u, NodeId v) const;
+
+  /// Runs until all in-flight messages are delivered or dropped.
+  SimulationStats run();
+
+  [[nodiscard]] const std::vector<MessageRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Messages carried over the directed link u → v in past run() calls.
+  [[nodiscard]] std::uint64_t link_load(NodeId u, NodeId v) const;
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  // FIFO tie-break
+    std::size_t record_index;
+    NodeId at;
+    model::MessageHeader header;
+
+    friend bool operator>(const Event& a, const Event& b) noexcept {
+      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    }
+  };
+
+  /// Picks the next hop at `e.at`, honouring failures for full-information
+  /// schemes. Returns nullopt when the message must be dropped.
+  [[nodiscard]] std::optional<NodeId> pick_next_hop(Event& e);
+
+  const graph::Graph* g_;
+  const model::RoutingScheme* scheme_;
+  const model::FullInformationRouting* full_info_;  // non-null if capable
+  SimulatorConfig config_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<MessageRecord> records_;
+  std::unordered_set<std::uint64_t> failed_links_;  // edge_index keys
+  // serialize_links: earliest next departure per *directed* link.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_free_at_;
+  // Messages per directed link (key: u·n + v), across runs.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_load_;
+};
+
+}  // namespace optrt::net

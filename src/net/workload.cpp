@@ -1,0 +1,58 @@
+#include "net/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace optrt::net {
+
+std::vector<TrafficPair> all_pairs(std::size_t n) {
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(n * (n - 1));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) pairs.emplace_back(u, v);
+    }
+  }
+  return pairs;
+}
+
+std::vector<TrafficPair> uniform_random(std::size_t n, std::size_t count,
+                                        graph::Rng& rng) {
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const NodeId u = pick(rng);
+    const NodeId v = pick(rng);
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+std::vector<TrafficPair> hotspot(std::size_t n, NodeId hot) {
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u != hot) pairs.emplace_back(u, hot);
+  }
+  return pairs;
+}
+
+std::vector<TrafficPair> permutation_traffic(std::size_t n, graph::Rng& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  // Displace fixpoints by a cyclic swap with the successor.
+  for (NodeId i = 0; i < n; ++i) {
+    if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % n]);
+  }
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    if (perm[i] != i) pairs.emplace_back(i, perm[i]);
+  }
+  return pairs;
+}
+
+}  // namespace optrt::net

@@ -1,0 +1,31 @@
+// Traffic workload generators for the simulator.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace optrt::net {
+
+using graph::NodeId;
+using TrafficPair = std::pair<NodeId, NodeId>;
+
+/// Every ordered pair (u, v), u != v.
+[[nodiscard]] std::vector<TrafficPair> all_pairs(std::size_t n);
+
+/// `count` uniformly random ordered pairs with distinct endpoints.
+[[nodiscard]] std::vector<TrafficPair> uniform_random(std::size_t n,
+                                                      std::size_t count,
+                                                      graph::Rng& rng);
+
+/// Everyone sends to one hot destination.
+[[nodiscard]] std::vector<TrafficPair> hotspot(std::size_t n, NodeId hot);
+
+/// A random permutation pattern: node i sends to π(i), π fixpoint-free
+/// where possible.
+[[nodiscard]] std::vector<TrafficPair> permutation_traffic(std::size_t n,
+                                                           graph::Rng& rng);
+
+}  // namespace optrt::net

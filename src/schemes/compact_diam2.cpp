@@ -1,0 +1,80 @@
+#include "schemes/compact_diam2.hpp"
+
+#include <stdexcept>
+
+namespace optrt::schemes {
+
+CompactDiam2Scheme::Options CompactDiam2Scheme::Options::for_model(
+    const model::Model& m) {
+  Options opt;
+  opt.neighbors_known = m.neighbors_known();
+  opt.node.include_adjacency = !m.neighbors_known();
+  return opt;
+}
+
+CompactDiam2Scheme::CompactDiam2Scheme(const graph::Graph& g, Options options)
+    : n_(g.node_count()), options_(options) {
+  options_.node.include_adjacency = !options_.neighbors_known;
+  bits_.reserve(n_);
+  decoded_.reserve(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    bits_.push_back(build_compact_node(g, u, options_.node));
+    std::vector<NodeId> free_neighbors;
+    if (options_.neighbors_known) {
+      const auto nbrs = g.neighbors(u);
+      free_neighbors.assign(nbrs.begin(), nbrs.end());
+    }
+    decoded_.push_back(decode_compact_node(bits_.back().bits, n_, u,
+                                           options_.node,
+                                           std::move(free_neighbors)));
+  }
+}
+
+CompactDiam2Scheme::CompactDiam2Scheme(const graph::Graph& g, Options options,
+                                       std::vector<bitio::BitVector> node_bits)
+    : n_(g.node_count()), options_(options) {
+  options_.node.include_adjacency = !options_.neighbors_known;
+  if (node_bits.size() != n_) {
+    throw std::invalid_argument("CompactDiam2Scheme: node count mismatch");
+  }
+  bits_.reserve(n_);
+  decoded_.reserve(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    CompactNodeBits nb;
+    nb.bits = std::move(node_bits[u]);
+    bits_.push_back(std::move(nb));
+    std::vector<NodeId> free_neighbors;
+    if (options_.neighbors_known) {
+      const auto nbrs = g.neighbors(u);
+      free_neighbors.assign(nbrs.begin(), nbrs.end());
+    }
+    decoded_.push_back(decode_compact_node(bits_.back().bits, n_, u,
+                                           options_.node,
+                                           std::move(free_neighbors)));
+  }
+}
+
+model::Model CompactDiam2Scheme::routing_model() const {
+  return model::Model{options_.neighbors_known
+                          ? model::Knowledge::kNeighborsKnown
+                          : model::Knowledge::kFreePorts,
+                      model::Relabeling::kNone};
+}
+
+NodeId CompactDiam2Scheme::next_hop(NodeId u, NodeId dest_label,
+                                    model::MessageHeader&) const {
+  const NodeId hop = decoded_[u].next_of[dest_label];
+  if (hop == DecodedCompactNode::kInvalid) {
+    throw std::invalid_argument("CompactDiam2Scheme: routing to self");
+  }
+  return hop;
+}
+
+model::SpaceReport CompactDiam2Scheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& nb : bits_) report.function_bits.push_back(nb.bits.size());
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,106 @@
+#include "schemes/compiler.hpp"
+
+#include <cmath>
+
+#include "graph/labeling.hpp"
+#include "graph/ports.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/errors.hpp"
+#include "schemes/full_information.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/neighbor_label.hpp"
+#include "schemes/routing_center.hpp"
+#include "schemes/sequential_search.hpp"
+
+namespace optrt::schemes {
+
+namespace {
+
+std::unique_ptr<model::RoutingScheme> full_table_for(const graph::Graph& g,
+                                                     const model::Model& m,
+                                                     std::uint64_t port_seed) {
+  graph::Rng rng(port_seed);
+  auto ports = m.knowledge == model::Knowledge::kFixedPorts
+                   ? graph::PortAssignment::random(g, rng)
+                   : graph::PortAssignment::sorted(g);
+  return std::make_unique<FullTableScheme>(
+      g, std::move(ports), graph::Labeling::identity(g.node_count()), m);
+}
+
+}  // namespace
+
+std::unique_ptr<model::RoutingScheme> compile(const graph::Graph& g,
+                                              const model::Model& m,
+                                              const CompileOptions& opt) {
+  try {
+    switch (opt.objective) {
+      case Objective::kShortestPath:
+        if (m.neighbors_known() &&
+            m.relabeling == model::Relabeling::kArbitrary) {
+          return std::make_unique<NeighborLabelScheme>(g);
+        }
+        if (m.neighbors_known() || m.ports_free()) {
+          return std::make_unique<CompactDiam2Scheme>(
+              g, CompactDiam2Scheme::Options::for_model(m));
+        }
+        return full_table_for(g, m, opt.port_seed);
+
+      case Objective::kStretchBelow2:
+        if (m.neighbors_known()) {
+          return std::make_unique<RoutingCenterScheme>(g);
+        }
+        return full_table_for(g, m, opt.port_seed);
+
+      case Objective::kStretch2:
+        if (m.neighbors_known()) {
+          return std::make_unique<HubScheme>(g);
+        }
+        return full_table_for(g, m, opt.port_seed);
+
+      case Objective::kStretchLog:
+        if (m.neighbors_known()) {
+          return std::make_unique<SequentialSearchScheme>(g);
+        }
+        return full_table_for(g, m, opt.port_seed);
+
+      case Objective::kFullInformation:
+        return std::make_unique<FullInformationScheme>(
+            FullInformationScheme::standard(g));
+    }
+  } catch (const SchemeInapplicable&) {
+    if (!opt.allow_fallback) throw;
+    return full_table_for(g, m, opt.port_seed);
+  }
+  throw std::logic_error("compile: unknown objective");
+}
+
+BudgetedScheme compile_within_budget(const graph::Graph& g,
+                                     std::size_t bit_budget) {
+  // Walk the ladder best-stretch-first; return the first rung that fits.
+  {
+    auto scheme = std::make_unique<CompactDiam2Scheme>(
+        g, CompactDiam2Scheme::Options{});
+    if (scheme->space().total_bits() <= bit_budget) {
+      return BudgetedScheme{std::move(scheme), 1.0};
+    }
+  }
+  {
+    auto scheme = std::make_unique<RoutingCenterScheme>(g);
+    if (scheme->space().total_bits() <= bit_budget) {
+      return BudgetedScheme{std::move(scheme), 1.5};
+    }
+  }
+  {
+    auto scheme = std::make_unique<HubScheme>(g);
+    if (scheme->space().total_bits() <= bit_budget) {
+      return BudgetedScheme{std::move(scheme), 2.0};
+    }
+  }
+  auto scheme = std::make_unique<SequentialSearchScheme>(g);
+  const double stretch =
+      6.0 * std::log2(std::max<double>(2.0, static_cast<double>(g.node_count())));
+  return BudgetedScheme{std::move(scheme), stretch};
+}
+
+}  // namespace optrt::schemes

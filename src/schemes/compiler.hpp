@@ -1,0 +1,63 @@
+// The universal routing strategy (§1) as a library entry point: given a
+// network and a model, generate a routing scheme for that particular
+// network.
+//
+// Selection follows Table 1's upper-bound rows:
+//   shortest path, II∧γ            → neighbor-label   (Theorem 2)
+//   shortest path, IB ∨ II         → compact-diam2    (Theorem 1)
+//   shortest path, IA              → full-table       (the Theorem 8-tight
+//                                                      literal table)
+//   stretch < 2, II                → routing-center   (Theorem 3)
+//   stretch 2, II                  → hub              (Theorem 4)
+//   stretch O(log n), II           → sequential-search(Theorem 5)
+//   full information               → full-information (Theorem 10-tight)
+//
+// Constructions that require the Lemma 1–3 structure fall back to the
+// always-correct full table when the graph lacks it (or throw, when
+// `allow_fallback` is false).
+#pragma once
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "model/scheme.hpp"
+
+namespace optrt::schemes {
+
+/// What the caller wants from the scheme, mirroring the paper's result
+/// classes.
+enum class Objective {
+  kShortestPath,      ///< stretch 1
+  kStretchBelow2,     ///< Theorem 3 (≤ 1.5 on diameter-2 graphs)
+  kStretch2,          ///< Theorem 4
+  kStretchLog,        ///< Theorem 5 (≤ 2(c+3) log n)
+  kFullInformation,   ///< all shortest-path edges per destination
+};
+
+struct CompileOptions {
+  Objective objective = Objective::kShortestPath;
+  /// Fall back to the full table when a compact construction's
+  /// preconditions fail (diameter > 2 etc.); otherwise SchemeInapplicable
+  /// propagates.
+  bool allow_fallback = true;
+  /// Seed for model IA's fixed ("adversarial") port assignment.
+  std::uint64_t port_seed = 1;
+};
+
+/// Compiles a routing scheme for `g` under `m`.
+[[nodiscard]] std::unique_ptr<model::RoutingScheme> compile(
+    const graph::Graph& g, const model::Model& m, const CompileOptions& opt = {});
+
+/// The stretch/space trade-off as an API: compiles the *lowest-stretch*
+/// scheme (under model II) whose total space fits `bit_budget`, walking the
+/// Theorem 1 → 3 → 4 → 5 ladder. Always succeeds on graphs with the
+/// Lemma 1–3 structure (Theorem 5 needs 0 bits); throws SchemeInapplicable
+/// on graphs where none of the ladder applies.
+struct BudgetedScheme {
+  std::unique_ptr<model::RoutingScheme> scheme;
+  double stretch_bound = 0.0;  ///< the theorem's guarantee for this rung
+};
+[[nodiscard]] BudgetedScheme compile_within_budget(const graph::Graph& g,
+                                                   std::size_t bit_budget);
+
+}  // namespace optrt::schemes

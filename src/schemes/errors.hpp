@@ -1,0 +1,20 @@
+// Error type for constructions whose preconditions a given graph fails.
+//
+// The paper's constructions assume the Lemma 1–3 structure of Kolmogorov
+// random graphs (diameter 2, small dominating covers). On other graphs they
+// are simply inapplicable; the Compiler catches this and falls back to the
+// always-correct full-table scheme.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace optrt::schemes {
+
+class SchemeInapplicable : public std::runtime_error {
+ public:
+  explicit SchemeInapplicable(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace optrt::schemes

@@ -1,0 +1,63 @@
+// Full-information shortest path routing (§1, Theorem 10's matching upper
+// bound): the function at u returns, for each destination, *all* edges
+// incident to u on shortest paths — so an alternative shortest path can be
+// taken whenever an outgoing link is down.
+//
+// Representation: per node, an n × d(u) bit matrix (destination label ×
+// port); total Σ_u n·d(u) = O(n³) bits, the trivial bound Theorem 10 shows
+// optimal in model α.
+#pragma once
+
+#include <vector>
+
+#include "bitio/bit_vector.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/ports.hpp"
+#include "model/scheme.hpp"
+
+namespace optrt::schemes {
+
+using graph::NodeId;
+
+class FullInformationScheme final : public model::FullInformationRouting {
+ public:
+  FullInformationScheme(const graph::Graph& g, graph::PortAssignment ports);
+
+  static FullInformationScheme standard(const graph::Graph& g);
+
+  [[nodiscard]] std::string name() const override { return "full-information"; }
+  [[nodiscard]] model::Model routing_model() const override {
+    return model::kIAalpha;
+  }
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
+                                model::MessageHeader& header) const override;
+  [[nodiscard]] std::vector<NodeId> all_next_hops(
+      NodeId u, NodeId dest_label) const override;
+  [[nodiscard]] model::SpaceReport space() const override;
+
+  /// Next hop avoiding the given down ports; returns kNoRoute if every
+  /// shortest-path port toward the destination is down.
+  [[nodiscard]] NodeId next_hop_avoiding(
+      NodeId u, NodeId dest_label, const std::vector<bool>& down_ports) const;
+
+  static constexpr NodeId kNoRoute = static_cast<NodeId>(-1);
+
+  [[nodiscard]] const bitio::BitVector& function_bits(NodeId u) const {
+    return matrix_bits_[u];
+  }
+  [[nodiscard]] const graph::PortAssignment& ports() const { return ports_; }
+
+ private:
+  [[nodiscard]] bool port_bit(NodeId u, NodeId dest_label,
+                              graph::PortId p) const {
+    return matrix_bits_[u].get(
+        static_cast<std::size_t>(dest_label) * ports_.degree(u) + p);
+  }
+
+  std::size_t n_;
+  graph::PortAssignment ports_;
+  std::vector<bitio::BitVector> matrix_bits_;
+};
+
+}  // namespace optrt::schemes

@@ -1,0 +1,86 @@
+#include "schemes/full_table.hpp"
+
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+
+namespace optrt::schemes {
+
+FullTableScheme::FullTableScheme(const graph::Graph& g,
+                                 graph::PortAssignment ports,
+                                 graph::Labeling labeling,
+                                 model::Model declared_model)
+    : n_(g.node_count()),
+      model_(declared_model),
+      ports_(std::move(ports)),
+      labeling_(std::move(labeling)) {
+  const graph::DistanceMatrix dist(g);
+  width_.resize(n_);
+  table_bits_.resize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    width_[u] = bitio::ceil_log2(std::max<std::size_t>(g.degree(u), 1));
+    bitio::BitWriter w;
+    // One entry per destination *label* so lookups index by label directly.
+    for (NodeId label = 0; label < n_; ++label) {
+      const NodeId v = labeling_.node_of(label);
+      graph::PortId port = 0;
+      if (v != u && dist.at(u, v) != graph::kUnreachable) {
+        const auto successors = graph::shortest_path_successors(g, dist, u, v);
+        port = ports_.port_of(u, successors.front());
+      }
+      w.write_bits(port, width_[u]);
+    }
+    table_bits_[u] = w.take();
+  }
+}
+
+FullTableScheme::FullTableScheme(const graph::Graph& g,
+                                 graph::PortAssignment ports,
+                                 graph::Labeling labeling,
+                                 model::Model declared_model,
+                                 std::vector<bitio::BitVector> tables)
+    : n_(g.node_count()),
+      model_(declared_model),
+      ports_(std::move(ports)),
+      labeling_(std::move(labeling)),
+      table_bits_(std::move(tables)) {
+  if (table_bits_.size() != n_) {
+    throw std::invalid_argument("FullTableScheme: node count mismatch");
+  }
+  width_.resize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    width_[u] = bitio::ceil_log2(std::max<std::size_t>(g.degree(u), 1));
+    if (table_bits_[u].size() != n_ * width_[u]) {
+      throw std::invalid_argument("FullTableScheme: table length mismatch");
+    }
+  }
+}
+
+FullTableScheme FullTableScheme::standard(const graph::Graph& g) {
+  return FullTableScheme(g, graph::PortAssignment::sorted(g),
+                         graph::Labeling::identity(g.node_count()),
+                         model::kIAalpha);
+}
+
+NodeId FullTableScheme::next_hop(NodeId u, NodeId dest_label,
+                                 model::MessageHeader&) const {
+  if (dest_label == labeling_.label_of(u)) {
+    throw std::invalid_argument("FullTableScheme: routing to self");
+  }
+  bitio::BitReader r(table_bits_[u]);
+  r.seek(static_cast<std::size_t>(dest_label) * width_[u]);
+  const auto port = static_cast<graph::PortId>(r.read_bits(width_[u]));
+  return ports_.neighbor_at(u, port);
+}
+
+model::SpaceReport FullTableScheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& bits : table_bits_) {
+    report.function_bits.push_back(bits.size());
+  }
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,119 @@
+#include "schemes/hub.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt::schemes {
+
+HubScheme::HubScheme(const graph::Graph& g, NodeId hub,
+                     unsigned rank_width_override)
+    : n_(g.node_count()), hub_(hub), g_(&g) {
+  if (rank_width_override != 0) {
+    rank_width_ = rank_width_override;
+  } else {
+    // Lemma 3 bound with c = 3: ranks below (c+3) log₂ n = 6 log₂ n.
+    const auto bound = static_cast<std::uint64_t>(
+        std::ceil(6.0 * std::log2(std::max<double>(static_cast<double>(n_), 2.0))));
+    rank_width_ = bitio::ceil_log2(std::max<std::uint64_t>(bound, 2));
+  }
+
+  // Hub: full compact table.
+  const CompactNodeOptions node_opt;  // model II defaults
+  CompactNodeBits hub_bits = build_compact_node(g, hub_, node_opt);
+  const auto hub_nbrs = g.neighbors(hub_);
+  hub_table_ =
+      decode_compact_node(hub_bits.bits, n_, hub_, node_opt,
+                          std::vector<NodeId>(hub_nbrs.begin(), hub_nbrs.end()));
+
+  function_bits_.resize(n_);
+  function_bits_[hub_] = std::move(hub_bits.bits);
+
+  hub_neighbor_.assign(n_, false);
+  for (NodeId z : hub_nbrs) hub_neighbor_[z] = true;
+
+  toward_hub_.assign(n_, static_cast<NodeId>(-1));
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v == hub_ || hub_neighbor_[v]) continue;  // O(1)-bit functions
+    // Find the least-rank neighbour of v adjacent to the hub.
+    const auto nbrs = g.neighbors(v);
+    std::size_t rank = nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (g.has_edge(nbrs[i], hub_)) {
+        rank = i;
+        break;
+      }
+    }
+    if (rank == nbrs.size()) {
+      throw SchemeInapplicable("hub: node " + std::to_string(v) +
+                               " farther than 2 from the hub");
+    }
+    if (rank >= (std::size_t{1} << rank_width_)) {
+      throw SchemeInapplicable(
+          "hub: connecting rank exceeds the loglog-width field (graph not "
+          "(c+3)log n-covered)");
+    }
+    bitio::BitWriter w;
+    w.write_bits(rank, rank_width_);
+    function_bits_[v] = w.take();
+    // Honest read-back of the stored rank.
+    bitio::BitReader r(function_bits_[v]);
+    toward_hub_[v] = nbrs[r.read_bits(rank_width_)];
+  }
+}
+
+HubScheme::HubScheme(const graph::Graph& g, NodeId hub, unsigned rank_width,
+                     std::vector<bitio::BitVector> node_bits)
+    : n_(g.node_count()),
+      hub_(hub),
+      rank_width_(rank_width),
+      function_bits_(std::move(node_bits)),
+      g_(&g) {
+  if (function_bits_.size() != n_) {
+    throw std::invalid_argument("HubScheme: node count mismatch");
+  }
+  const CompactNodeOptions node_opt;
+  const auto hub_nbrs = g.neighbors(hub_);
+  hub_table_ =
+      decode_compact_node(function_bits_[hub_], n_, hub_, node_opt,
+                          std::vector<NodeId>(hub_nbrs.begin(), hub_nbrs.end()));
+  hub_neighbor_.assign(n_, false);
+  for (NodeId z : hub_nbrs) hub_neighbor_[z] = true;
+  toward_hub_.assign(n_, static_cast<NodeId>(-1));
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v == hub_ || hub_neighbor_[v]) continue;
+    bitio::BitReader r(function_bits_[v]);
+    const auto rank = static_cast<std::size_t>(r.read_bits(rank_width_));
+    const auto nbrs = g.neighbors(v);
+    if (rank >= nbrs.size()) {
+      throw std::invalid_argument("HubScheme: bad stored rank");
+    }
+    toward_hub_[v] = nbrs[rank];
+  }
+}
+
+NodeId HubScheme::next_hop(NodeId u, NodeId dest_label,
+                           model::MessageHeader&) const {
+  if (dest_label == u) {
+    throw std::invalid_argument("HubScheme: routing to self");
+  }
+  if (g_->has_edge(u, dest_label)) return dest_label;  // free under II
+  if (u == hub_) return hub_table_.next_of[dest_label];
+  if (hub_neighbor_[u]) return hub_;
+  return toward_hub_[u];
+}
+
+model::SpaceReport HubScheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& bits : function_bits_) {
+    report.function_bits.push_back(bits.size());
+  }
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,125 @@
+#include "schemes/interval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "graph/algorithms.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt::schemes {
+
+IntervalRoutingScheme::IntervalRoutingScheme(const graph::Graph& g, NodeId root)
+    : n_(g.node_count()), labeling_(graph::Labeling::identity(n_)) {
+  if (!graph::is_connected(g)) {
+    throw SchemeInapplicable("interval-tree: graph disconnected");
+  }
+
+  // BFS spanning tree.
+  std::vector<NodeId> parent(n_, static_cast<NodeId>(-1));
+  std::vector<std::vector<NodeId>> children(n_);
+  {
+    std::vector<bool> seen(n_, false);
+    std::vector<NodeId> frontier{root};
+    seen[root] = true;
+    parent[root] = root;
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (NodeId u : frontier) {
+        for (NodeId v : g.neighbors(u)) {
+          if (!seen[v]) {
+            seen[v] = true;
+            parent[v] = u;
+            children[u].push_back(v);
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+
+  // DFS preorder labels; subtree of u covers [pre[u], last[u]].
+  std::vector<NodeId> pre(n_, 0), last(n_, 0);
+  {
+    NodeId counter = 0;
+    // Iterative DFS with post-processing for `last`.
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    pre[root] = counter++;
+    while (!stack.empty()) {
+      auto& [u, idx] = stack.back();
+      if (idx < children[u].size()) {
+        const NodeId c = children[u][idx++];
+        pre[c] = counter++;
+        stack.emplace_back(c, 0);
+      } else {
+        last[u] = children[u].empty()
+                      ? pre[u]
+                      : last[children[u].back()];
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<NodeId> label_of_node(n_);
+  for (NodeId u = 0; u < n_; ++u) label_of_node[u] = pre[u];
+  labeling_ = graph::Labeling::permutation(std::move(label_of_node));
+
+  // Serialize per node: parent id, child count, then (child id, lo, hi)
+  // label triples.
+  const unsigned width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  function_bits_.resize(n_);
+  decoded_.resize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    bitio::BitWriter w;
+    w.write_bits(parent[u], width);
+    w.write_bits(children[u].size(), bitio::ceil_log2_plus1(n_));
+    for (NodeId c : children[u]) {
+      w.write_bits(c, width);
+      w.write_bits(pre[c], width);
+      w.write_bits(last[c], width);
+    }
+    function_bits_[u] = w.take();
+
+    // Honest read-back.
+    bitio::BitReader r(function_bits_[u]);
+    DecodedNode& node = decoded_[u];
+    node.parent = static_cast<NodeId>(r.read_bits(width));
+    const auto count = static_cast<std::size_t>(
+        r.read_bits(bitio::ceil_log2_plus1(n_)));
+    node.child.resize(count);
+    node.lo.resize(count);
+    node.hi.resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      node.child[k] = static_cast<NodeId>(r.read_bits(width));
+      node.lo[k] = static_cast<NodeId>(r.read_bits(width));
+      node.hi[k] = static_cast<NodeId>(r.read_bits(width));
+    }
+  }
+}
+
+NodeId IntervalRoutingScheme::next_hop(NodeId u, NodeId dest_label,
+                                       model::MessageHeader&) const {
+  if (dest_label == labeling_.label_of(u)) {
+    throw std::invalid_argument("IntervalRoutingScheme: routing to self");
+  }
+  const DecodedNode& node = decoded_[u];
+  for (std::size_t k = 0; k < node.child.size(); ++k) {
+    if (node.lo[k] <= dest_label && dest_label <= node.hi[k]) {
+      return node.child[k];
+    }
+  }
+  return node.parent;
+}
+
+model::SpaceReport IntervalRoutingScheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& bits : function_bits_) {
+    report.function_bits.push_back(bits.size());
+  }
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,188 @@
+#include "schemes/landmark.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "graph/algorithms.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt::schemes {
+
+LandmarkScheme::LandmarkScheme(const graph::Graph& g, Options options)
+    : n_(g.node_count()), ports_(graph::PortAssignment::sorted(g)) {
+  if (!graph::is_connected(g)) {
+    throw SchemeInapplicable("landmark: graph disconnected");
+  }
+  std::size_t count = options.landmark_count;
+  if (count == 0) {
+    count = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n_))));
+  }
+  count = std::min(count, n_);
+
+  // Sample landmarks without replacement.
+  {
+    std::vector<NodeId> all(n_);
+    std::iota(all.begin(), all.end(), 0);
+    graph::Rng rng(options.seed);
+    std::shuffle(all.begin(), all.end(), rng);
+    landmarks_.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+    std::sort(landmarks_.begin(), landmarks_.end());
+  }
+  landmark_index_.assign(n_, 0);
+  for (std::uint32_t i = 0; i < landmarks_.size(); ++i) {
+    landmark_index_[landmarks_[i]] = i;
+  }
+
+  const graph::DistanceMatrix dist(g);
+
+  // Nearest landmark per node (least id on ties).
+  landmark_of_.assign(n_, landmarks_[0]);
+  for (NodeId v = 0; v < n_; ++v) {
+    std::uint32_t best = graph::kUnreachable;
+    for (NodeId l : landmarks_) {
+      if (dist.at(v, l) < best) {
+        best = dist.at(v, l);
+        landmark_of_[v] = l;
+      }
+    }
+  }
+
+  // Build and serialize per-node tables.
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  function_bits_.resize(n_);
+  decoded_.resize(n_);
+  for (NodeId w = 0; w < n_; ++w) {
+    const unsigned port_width =
+        bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+    bitio::BitWriter out;
+    // (a) next hop toward every landmark (own landmark entry unused at a
+    // landmark itself; store 0).
+    for (NodeId l : landmarks_) {
+      graph::PortId port = 0;
+      if (l != w) {
+        const auto succ = graph::shortest_path_successors(g, dist, w, l);
+        port = ports_.port_of(w, succ.front());
+      }
+      out.write_bits(port, port_width);
+    }
+    // (b) vicinity table: v with d(w,v) ≤ d(v, l(v)).
+    std::vector<NodeId> vicinity;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != w && dist.at(w, v) <= dist.at(v, landmark_of_[v])) {
+        vicinity.push_back(v);
+      }
+    }
+    out.write_bits(vicinity.size(), bitio::ceil_log2_plus1(n_));
+    for (NodeId v : vicinity) {
+      const auto succ = graph::shortest_path_successors(g, dist, w, v);
+      out.write_bits(v, id_width);
+      out.write_bits(ports_.port_of(w, succ.front()), port_width);
+    }
+    function_bits_[w] = out.take();
+
+    // Honest read-back.
+    bitio::BitReader r(function_bits_[w]);
+    DecodedNode& node = decoded_[w];
+    node.landmark_port.resize(landmarks_.size());
+    for (auto& p : node.landmark_port) {
+      p = static_cast<graph::PortId>(r.read_bits(port_width));
+    }
+    const auto vic =
+        static_cast<std::size_t>(r.read_bits(bitio::ceil_log2_plus1(n_)));
+    node.vicinity_ids.resize(vic);
+    node.vicinity_port.resize(vic);
+    for (std::size_t i = 0; i < vic; ++i) {
+      node.vicinity_ids[i] = static_cast<NodeId>(r.read_bits(id_width));
+      node.vicinity_port[i] =
+          static_cast<graph::PortId>(r.read_bits(port_width));
+    }
+  }
+}
+
+LandmarkScheme::LandmarkScheme(const graph::Graph& g,
+                               std::vector<NodeId> landmarks,
+                               std::vector<bitio::BitVector> node_bits)
+    : n_(g.node_count()),
+      ports_(graph::PortAssignment::sorted(g)),
+      landmarks_(std::move(landmarks)) {
+  if (node_bits.size() != n_ || landmarks_.empty()) {
+    throw std::invalid_argument("LandmarkScheme: bad serialized state");
+  }
+  landmark_index_.assign(n_, 0);
+  for (std::uint32_t i = 0; i < landmarks_.size(); ++i) {
+    if (landmarks_[i] >= n_) {
+      throw std::invalid_argument("LandmarkScheme: bad landmark id");
+    }
+    landmark_index_[landmarks_[i]] = i;
+  }
+  // Nearest landmarks are a deterministic function of the graph.
+  landmark_of_.assign(n_, landmarks_[0]);
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto dist = graph::bfs_distances(g, v);
+    std::uint32_t best = graph::kUnreachable;
+    for (NodeId l : landmarks_) {
+      if (dist[l] < best) {
+        best = dist[l];
+        landmark_of_[v] = l;
+      }
+    }
+  }
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  function_bits_ = std::move(node_bits);
+  decoded_.resize(n_);
+  for (NodeId w = 0; w < n_; ++w) {
+    const unsigned port_width =
+        bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+    bitio::BitReader r(function_bits_[w]);
+    DecodedNode& node = decoded_[w];
+    node.landmark_port.resize(landmarks_.size());
+    for (auto& p : node.landmark_port) {
+      p = static_cast<graph::PortId>(r.read_bits(port_width));
+    }
+    const auto vic =
+        static_cast<std::size_t>(r.read_bits(bitio::ceil_log2_plus1(n_)));
+    node.vicinity_ids.resize(vic);
+    node.vicinity_port.resize(vic);
+    for (std::size_t i = 0; i < vic; ++i) {
+      node.vicinity_ids[i] = static_cast<NodeId>(r.read_bits(id_width));
+      node.vicinity_port[i] =
+          static_cast<graph::PortId>(r.read_bits(port_width));
+    }
+  }
+}
+
+NodeId LandmarkScheme::next_hop(NodeId u, NodeId dest_label,
+                                model::MessageHeader&) const {
+  // The charged label is (v, l(v)); numerically we receive v and look up
+  // l(v) from the label table the scheme itself published.
+  const NodeId v = dest_label;
+  if (v == u) throw std::invalid_argument("LandmarkScheme: routing to self");
+  const DecodedNode& node = decoded_[u];
+  const auto it = std::lower_bound(node.vicinity_ids.begin(),
+                                   node.vicinity_ids.end(), v);
+  if (it != node.vicinity_ids.end() && *it == v) {
+    const auto i = static_cast<std::size_t>(it - node.vicinity_ids.begin());
+    return ports_.neighbor_at(u, node.vicinity_port[i]);
+  }
+  const NodeId l = landmark_of_[v];  // from the destination's label
+  return ports_.neighbor_at(u, node.landmark_port[landmark_index_[l]]);
+}
+
+model::SpaceReport LandmarkScheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& bits : function_bits_) {
+    report.function_bits.push_back(bits.size());
+  }
+  // Model γ: the (v, l(v)) labels are charged — 2·⌈log n⌉ bits per node.
+  report.label_bits =
+      n_ * 2 * bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,124 @@
+#include "schemes/routing_center.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "graph/cover.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt::schemes {
+
+RoutingCenterScheme::RoutingCenterScheme(const graph::Graph& g, NodeId hub)
+    : n_(g.node_count()), g_(&g) {
+  const graph::NeighborCover hub_cover = graph::least_neighbor_cover(g, hub);
+  if (!hub_cover.complete) {
+    throw SchemeInapplicable("routing-center: hub cover incomplete");
+  }
+  center_ids_ = hub_cover.centers;
+  center_ids_.push_back(hub);
+  std::sort(center_ids_.begin(), center_ids_.end());
+  center_ids_.erase(std::unique(center_ids_.begin(), center_ids_.end()),
+                    center_ids_.end());
+
+  in_b_.assign(n_, false);
+  for (NodeId b : center_ids_) in_b_[b] = true;
+
+  function_bits_.resize(n_);
+  decoded_.resize(n_);
+  my_center_.assign(n_, static_cast<NodeId>(-1));
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  const CompactNodeOptions node_opt;  // model II defaults
+
+  for (NodeId v = 0; v < n_; ++v) {
+    if (in_b_[v]) {
+      CompactNodeBits table = build_compact_node(g, v, node_opt);
+      const auto nbrs = g.neighbors(v);
+      decoded_[v] = decode_compact_node(
+          table.bits, n_, v, node_opt,
+          std::vector<NodeId>(nbrs.begin(), nbrs.end()));
+      function_bits_[v] = std::move(table.bits);
+    } else {
+      // Store the label of the least adjacent center. Every node is
+      // adjacent to one: the hub's cover dominates its non-neighbours and
+      // the hub's neighbours are adjacent to the hub itself.
+      NodeId chosen = static_cast<NodeId>(-1);
+      for (NodeId z : g.neighbors(v)) {
+        if (in_b_[z]) {
+          chosen = z;
+          break;
+        }
+      }
+      if (chosen == static_cast<NodeId>(-1)) {
+        throw SchemeInapplicable("routing-center: node " + std::to_string(v) +
+                                 " not adjacent to any center");
+      }
+      bitio::BitWriter w;
+      w.write_bits(chosen, id_width);
+      function_bits_[v] = w.take();
+      // Decode back (the honest read path).
+      bitio::BitReader r(function_bits_[v]);
+      my_center_[v] = static_cast<NodeId>(r.read_bits(id_width));
+    }
+  }
+}
+
+RoutingCenterScheme::RoutingCenterScheme(const graph::Graph& g,
+                                         std::vector<NodeId> center_ids,
+                                         std::vector<bitio::BitVector> node_bits)
+    : n_(g.node_count()), center_ids_(std::move(center_ids)), g_(&g) {
+  if (node_bits.size() != n_) {
+    throw std::invalid_argument("RoutingCenterScheme: node count mismatch");
+  }
+  in_b_.assign(n_, false);
+  for (NodeId b : center_ids_) {
+    if (b >= n_) {
+      throw std::invalid_argument("RoutingCenterScheme: bad center id");
+    }
+    in_b_[b] = true;
+  }
+  function_bits_ = std::move(node_bits);
+  decoded_.resize(n_);
+  my_center_.assign(n_, static_cast<NodeId>(-1));
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
+  const CompactNodeOptions node_opt;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (in_b_[v]) {
+      const auto nbrs = g.neighbors(v);
+      decoded_[v] = decode_compact_node(
+          function_bits_[v], n_, v, node_opt,
+          std::vector<NodeId>(nbrs.begin(), nbrs.end()));
+    } else {
+      bitio::BitReader r(function_bits_[v]);
+      my_center_[v] = static_cast<NodeId>(r.read_bits(id_width));
+      if (my_center_[v] >= n_ || !in_b_[my_center_[v]]) {
+        throw std::invalid_argument("RoutingCenterScheme: bad stored center");
+      }
+    }
+  }
+}
+
+NodeId RoutingCenterScheme::next_hop(NodeId u, NodeId dest_label,
+                                     model::MessageHeader&) const {
+  if (dest_label == u) {
+    throw std::invalid_argument("RoutingCenterScheme: routing to self");
+  }
+  // Model II: direct neighbours are routed without any table.
+  if (g_->has_edge(u, dest_label)) return dest_label;
+  if (in_b_[u]) {
+    return decoded_[u].next_of[dest_label];
+  }
+  return my_center_[u];
+}
+
+model::SpaceReport RoutingCenterScheme::space() const {
+  model::SpaceReport report;
+  report.function_bits.reserve(n_);
+  for (const auto& bits : function_bits_) {
+    report.function_bits.push_back(bits.size());
+  }
+  return report;
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,61 @@
+#include "schemes/sequential_search.hpp"
+
+#include <stdexcept>
+
+namespace optrt::schemes {
+
+SequentialSearchScheme::SequentialSearchScheme(const graph::Graph& g)
+    : g_(&g) {}
+
+NodeId SequentialSearchScheme::next_hop(NodeId u, NodeId dest_label,
+                                        model::MessageHeader& header) const {
+  if (dest_label == u) {
+    throw std::invalid_argument("SequentialSearchScheme: routing to self");
+  }
+  // Free under II: direct neighbours need no table (and a successful probe
+  // forwards here too).
+  if (g_->has_edge(u, dest_label)) {
+    header.phase = kAtSource;
+    return dest_label;
+  }
+  const auto nbrs = g_->neighbors(u);
+  switch (header.phase) {
+    case kAtSource: {
+      // We are the source: launch the first probe.
+      if (nbrs.empty()) {
+        throw std::invalid_argument("SequentialSearchScheme: isolated node");
+      }
+      header.phase = kProbing;
+      header.probe_index = 0;
+      return nbrs[0];
+    }
+    case kProbing: {
+      // A probe arrived and the destination is not our neighbour: bounce it
+      // back over the link it came from.
+      header.phase = kReturning;
+      return header.came_from;
+    }
+    case kReturning: {
+      // Our probe came back unsuccessful: try the next least neighbour.
+      header.probe_index += 1;
+      if (header.probe_index >= nbrs.size()) {
+        throw std::invalid_argument(
+            "SequentialSearchScheme: probes exhausted (destination farther "
+            "than 2)");
+      }
+      header.phase = kProbing;
+      return nbrs[header.probe_index];
+    }
+    default:
+      throw std::logic_error("SequentialSearchScheme: bad header phase");
+  }
+}
+
+model::SpaceReport SequentialSearchScheme::space() const {
+  model::SpaceReport report;
+  // The constant algorithm: zero stored bits at every node.
+  report.function_bits.assign(g_->node_count(), 0);
+  return report;
+}
+
+}  // namespace optrt::schemes

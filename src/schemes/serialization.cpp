@@ -1,0 +1,339 @@
+#include "schemes/serialization.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+
+namespace optrt::schemes {
+
+namespace {
+
+using bitio::BitReader;
+using bitio::BitWriter;
+
+void write_header(BitWriter& w, SchemeKind kind, std::size_t n) {
+  w.write_bits(kArtifactMagic, 32);
+  bitio::write_prime(w, static_cast<std::uint64_t>(kind));
+  bitio::write_prime(w, n);
+}
+
+struct Header {
+  SchemeKind kind;
+  std::size_t n;
+};
+
+Header read_header(BitReader& r) {
+  if (r.read_bits(32) != kArtifactMagic) {
+    throw std::invalid_argument("scheme artifact: bad magic");
+  }
+  Header h{};
+  h.kind = static_cast<SchemeKind>(bitio::read_prime(r));
+  h.n = static_cast<std::size_t>(bitio::read_prime(r));
+  return h;
+}
+
+void write_bit_vector(BitWriter& w, const bitio::BitVector& bits) {
+  bitio::write_prime(w, bits.size());
+  w.write_vector(bits);
+}
+
+bitio::BitVector read_bit_vector(BitReader& r) {
+  const auto len = static_cast<std::size_t>(bitio::read_prime(r));
+  bitio::BitVector bits;
+  for (std::size_t i = 0; i < len; ++i) bits.push_back(r.read_bit());
+  return bits;
+}
+
+}  // namespace
+
+bitio::BitVector serialize(const CompactDiam2Scheme& scheme) {
+  BitWriter w;
+  write_header(w, SchemeKind::kCompactDiam2, scheme.node_count());
+  w.write_bit(scheme.routing_model().neighbors_known());
+  for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+CompactDiam2Scheme deserialize_compact_diam2(const bitio::BitVector& artifact,
+                                             const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kCompactDiam2) {
+    throw std::invalid_argument("scheme artifact: not a compact-diam2 scheme");
+  }
+  if (h.n != g.node_count()) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  CompactDiam2Scheme::Options opt;
+  opt.neighbors_known = r.read_bit();
+  std::vector<bitio::BitVector> node_bits;
+  node_bits.reserve(h.n);
+  for (std::size_t u = 0; u < h.n; ++u) {
+    node_bits.push_back(read_bit_vector(r));
+  }
+  return CompactDiam2Scheme(g, opt, std::move(node_bits));
+}
+
+bitio::BitVector serialize(const FullTableScheme& scheme) {
+  const std::size_t n = scheme.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  BitWriter w;
+  write_header(w, SchemeKind::kFullTable, n);
+  // Environment: labelling permutation, then port → neighbour maps.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    w.write_bits(scheme.label_of(u), id_width);
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto ports = scheme.ports().ports(u);
+    bitio::write_prime(w, ports.size());
+    for (graph::NodeId v : ports) w.write_bits(v, id_width);
+  }
+  // Model declaration.
+  bitio::write_prime(w, static_cast<std::uint64_t>(
+                            scheme.routing_model().knowledge));
+  bitio::write_prime(w, static_cast<std::uint64_t>(
+                            scheme.routing_model().relabeling));
+  // Function bits.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+FullTableScheme deserialize_full_table(const bitio::BitVector& artifact,
+                                       const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kFullTable) {
+    throw std::invalid_argument("scheme artifact: not a full-table scheme");
+  }
+  const std::size_t n = g.node_count();
+  if (h.n != n) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  std::vector<graph::NodeId> labels(n);
+  for (auto& l : labels) l = static_cast<graph::NodeId>(r.read_bits(id_width));
+  std::vector<std::vector<graph::NodeId>> port_maps(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto d = static_cast<std::size_t>(bitio::read_prime(r));
+    port_maps[u].resize(d);
+    for (auto& v : port_maps[u]) {
+      v = static_cast<graph::NodeId>(r.read_bits(id_width));
+    }
+  }
+  model::Model m;
+  m.knowledge = static_cast<model::Knowledge>(bitio::read_prime(r));
+  m.relabeling = static_cast<model::Relabeling>(bitio::read_prime(r));
+  std::vector<bitio::BitVector> tables;
+  tables.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) tables.push_back(read_bit_vector(r));
+  return FullTableScheme(g, graph::PortAssignment::from_port_maps(
+                                g, std::move(port_maps)),
+                         graph::Labeling::permutation(std::move(labels)), m,
+                         std::move(tables));
+}
+
+bitio::BitVector serialize(const HubScheme& scheme) {
+  BitWriter w;
+  write_header(w, SchemeKind::kHub, scheme.node_count());
+  bitio::write_prime(w, scheme.hub());
+  bitio::write_prime(w, scheme.rank_width());
+  for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+HubScheme deserialize_hub(const bitio::BitVector& artifact,
+                          const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kHub) {
+    throw std::invalid_argument("scheme artifact: not a hub scheme");
+  }
+  if (h.n != g.node_count()) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  const auto hub = static_cast<graph::NodeId>(bitio::read_prime(r));
+  const auto rank_width = static_cast<unsigned>(bitio::read_prime(r));
+  std::vector<bitio::BitVector> node_bits;
+  node_bits.reserve(h.n);
+  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
+  return HubScheme(g, hub, rank_width, std::move(node_bits));
+}
+
+bitio::BitVector serialize(const RoutingCenterScheme& scheme) {
+  const std::size_t n = scheme.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  BitWriter w;
+  write_header(w, SchemeKind::kRoutingCenter, n);
+  bitio::write_prime(w, scheme.centers().size());
+  for (graph::NodeId b : scheme.centers()) w.write_bits(b, id_width);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+RoutingCenterScheme deserialize_routing_center(const bitio::BitVector& artifact,
+                                               const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kRoutingCenter) {
+    throw std::invalid_argument("scheme artifact: not a routing-center scheme");
+  }
+  if (h.n != g.node_count()) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
+  const auto count = static_cast<std::size_t>(bitio::read_prime(r));
+  std::vector<graph::NodeId> centers(count);
+  for (auto& b : centers) b = static_cast<graph::NodeId>(r.read_bits(id_width));
+  std::vector<bitio::BitVector> node_bits;
+  node_bits.reserve(h.n);
+  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
+  return RoutingCenterScheme(g, std::move(centers), std::move(node_bits));
+}
+
+bitio::BitVector serialize(const LandmarkScheme& scheme) {
+  const std::size_t n = scheme.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  BitWriter w;
+  write_header(w, SchemeKind::kLandmark, n);
+  bitio::write_prime(w, scheme.landmarks().size());
+  for (graph::NodeId l : scheme.landmarks()) w.write_bits(l, id_width);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+LandmarkScheme deserialize_landmark(const bitio::BitVector& artifact,
+                                    const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kLandmark) {
+    throw std::invalid_argument("scheme artifact: not a landmark scheme");
+  }
+  if (h.n != g.node_count()) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
+  const auto count = static_cast<std::size_t>(bitio::read_prime(r));
+  std::vector<graph::NodeId> landmarks(count);
+  for (auto& l : landmarks) l = static_cast<graph::NodeId>(r.read_bits(id_width));
+  std::vector<bitio::BitVector> node_bits;
+  node_bits.reserve(h.n);
+  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
+  return LandmarkScheme(g, std::move(landmarks), std::move(node_bits));
+}
+
+bitio::BitVector serialize(const HierarchicalScheme& scheme) {
+  const std::size_t n = scheme.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  BitWriter w;
+  write_header(w, SchemeKind::kHierarchical, n);
+  bitio::write_prime(w, scheme.levels());
+  for (std::size_t i = 1; i < scheme.levels(); ++i) {
+    bitio::write_prime(w, scheme.pivots(i).size());
+    for (graph::NodeId t : scheme.pivots(i)) w.write_bits(t, id_width);
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return w.take();
+}
+
+HierarchicalScheme deserialize_hierarchical(const bitio::BitVector& artifact,
+                                            const graph::Graph& g) {
+  BitReader r(artifact);
+  const Header h = read_header(r);
+  if (h.kind != SchemeKind::kHierarchical) {
+    throw std::invalid_argument("scheme artifact: not a hierarchical scheme");
+  }
+  if (h.n != g.node_count()) {
+    throw std::invalid_argument("scheme artifact: node count mismatch");
+  }
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
+  const auto levels = static_cast<std::size_t>(bitio::read_prime(r));
+  std::vector<std::vector<graph::NodeId>> pivot_sets(levels);
+  for (std::size_t i = 1; i < levels; ++i) {
+    const auto count = static_cast<std::size_t>(bitio::read_prime(r));
+    pivot_sets[i].resize(count);
+    for (auto& t : pivot_sets[i]) {
+      t = static_cast<graph::NodeId>(r.read_bits(id_width));
+    }
+  }
+  std::vector<bitio::BitVector> node_bits;
+  node_bits.reserve(h.n);
+  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
+  return HierarchicalScheme(g, std::move(pivot_sets), std::move(node_bits));
+}
+
+SchemeKind peek_kind(const bitio::BitVector& artifact) {
+  BitReader r(artifact);
+  return read_header(r).kind;
+}
+
+std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits) {
+  std::vector<std::uint8_t> bytes;
+  // 64-bit little-endian bit-count prefix.
+  const std::uint64_t count = bits.size();
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+  }
+  std::uint8_t current = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) current |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      bytes.push_back(current);
+      current = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) bytes.push_back(current);
+  return bytes;
+}
+
+bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 8) {
+    throw std::invalid_argument("from_bytes: truncated header");
+  }
+  std::uint64_t count = 0;
+  for (int i = 0; i < 8; ++i) {
+    count |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)])
+             << (8 * i);
+  }
+  if (bytes.size() < 8 + (count + 7) / 8) {
+    throw std::invalid_argument("from_bytes: truncated payload");
+  }
+  bitio::BitVector bits;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = bytes[8 + i / 8];
+    bits.push_back((byte >> (i % 8)) & 1u);
+  }
+  return bits;
+}
+
+void save_artifact(const std::string& path, const bitio::BitVector& bits) {
+  const auto bytes = to_bytes(bits);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_artifact: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_artifact: write failed: " + path);
+}
+
+bitio::BitVector load_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_artifact: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return from_bytes(bytes);
+}
+
+}  // namespace optrt::schemes

@@ -1,0 +1,92 @@
+// Scheme serialization: a routing scheme as a durable artifact.
+//
+// A universal routing strategy (§1) produces, for each network, a routing
+// scheme — which in practice must be shipped to the nodes and loaded. This
+// module serializes schemes to a single self-delimiting bit string (and to
+// byte buffers / files):
+//
+//   [magic][kind][n][environment section][per-node function bits]
+//
+// The environment section carries what the model grants for free or fixes
+// physically (the port assignment, the labelling); it is tagged separately
+// so space accounting stays honest: function bits are the scheme's cost,
+// environment bits are the network's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitio/bit_vector.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/hierarchical.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/landmark.hpp"
+#include "schemes/routing_center.hpp"
+
+namespace optrt::schemes {
+
+/// Scheme discriminator stored in the artifact header.
+enum class SchemeKind : std::uint32_t {
+  kCompactDiam2 = 1,
+  kFullTable = 2,
+  kHub = 3,
+  kRoutingCenter = 4,
+  kLandmark = 5,
+  kHierarchical = 6,
+};
+
+/// Magic prefix ("ORT1") of every artifact.
+inline constexpr std::uint32_t kArtifactMagic = 0x3154524F;
+
+/// Serializes a compact-diam2 scheme (options + per-node tables).
+[[nodiscard]] bitio::BitVector serialize(const CompactDiam2Scheme& scheme);
+
+/// Serializes a full-table scheme (labelling + port maps + tables).
+[[nodiscard]] bitio::BitVector serialize(const FullTableScheme& scheme);
+
+/// Reads the kind header of an artifact (validates the magic).
+[[nodiscard]] SchemeKind peek_kind(const bitio::BitVector& artifact);
+
+/// Reconstructs a compact-diam2 scheme over `g`. The graph supplies the
+/// model II free knowledge; every routing table comes from the artifact.
+[[nodiscard]] CompactDiam2Scheme deserialize_compact_diam2(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// Reconstructs a full-table scheme over `g` (port maps and labelling are
+/// restored from the artifact's environment section).
+[[nodiscard]] FullTableScheme deserialize_full_table(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// Serializes / reconstructs a Theorem 4 hub scheme.
+[[nodiscard]] bitio::BitVector serialize(const HubScheme& scheme);
+[[nodiscard]] HubScheme deserialize_hub(const bitio::BitVector& artifact,
+                                        const graph::Graph& g);
+
+/// Serializes / reconstructs a Theorem 3 routing-center scheme.
+[[nodiscard]] bitio::BitVector serialize(const RoutingCenterScheme& scheme);
+[[nodiscard]] RoutingCenterScheme deserialize_routing_center(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// Serializes / reconstructs a landmark (stretch-<3) scheme.
+[[nodiscard]] bitio::BitVector serialize(const LandmarkScheme& scheme);
+[[nodiscard]] LandmarkScheme deserialize_landmark(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// Serializes / reconstructs a k-level hierarchical scheme.
+[[nodiscard]] bitio::BitVector serialize(const HierarchicalScheme& scheme);
+[[nodiscard]] HierarchicalScheme deserialize_hierarchical(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+// --- Byte and file transport --------------------------------------------------
+
+/// Packs bits into bytes, length-prefixed so the bit count survives.
+[[nodiscard]] std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits);
+[[nodiscard]] bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// Writes/reads an artifact file. Throws std::runtime_error on I/O errors.
+void save_artifact(const std::string& path, const bitio::BitVector& bits);
+[[nodiscard]] bitio::BitVector load_artifact(const std::string& path);
+
+}  // namespace optrt::schemes

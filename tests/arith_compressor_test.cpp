@@ -1,0 +1,191 @@
+// Tests for the arithmetic coder, the whole-graph enumerative compressor,
+// the distributed construction protocol, and the sampled verifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "bitio/arith.hpp"
+#include "bitio/codes.hpp"
+#include "bitio/entropy.hpp"
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "incompressibility/graph_compressor.hpp"
+#include "model/verifier.hpp"
+#include "net/construction.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+// --- Arithmetic coder ---------------------------------------------------------
+
+TEST(Arithmetic, RoundTripsRandomStrings) {
+  std::mt19937_64 rng(1001);
+  for (std::size_t len : {0u, 1u, 2u, 33u, 64u, 1000u, 5000u}) {
+    bitio::BitVector bits;
+    for (std::size_t i = 0; i < len; ++i) bits.push_back(rng() & 1u);
+    const bitio::BitVector code = bitio::arithmetic_encode(bits);
+    EXPECT_EQ(bitio::arithmetic_decode(code, len), bits) << "len=" << len;
+  }
+}
+
+TEST(Arithmetic, RoundTripsSkewedStrings) {
+  std::mt19937_64 rng(1002);
+  for (double p : {0.01, 0.1, 0.35, 0.9, 0.99}) {
+    std::bernoulli_distribution coin(p);
+    bitio::BitVector bits;
+    for (int i = 0; i < 4000; ++i) bits.push_back(coin(rng));
+    const bitio::BitVector code = bitio::arithmetic_encode(bits);
+    ASSERT_EQ(bitio::arithmetic_decode(code, bits.size()), bits) << p;
+  }
+}
+
+TEST(Arithmetic, ApproachesEmpiricalEntropy) {
+  std::mt19937_64 rng(1003);
+  std::bernoulli_distribution coin(0.1);
+  bitio::BitVector bits;
+  for (int i = 0; i < 20000; ++i) bits.push_back(coin(rng));
+  const double h = bitio::empirical_entropy(bits);
+  const double coded = static_cast<double>(bitio::arithmetic_coded_bits(bits));
+  const double ideal = h * static_cast<double>(bits.size());
+  EXPECT_LE(coded, ideal + 0.5 * std::log2(20000.0) + 64.0);
+  EXPECT_GE(coded, ideal - 1.0);  // cannot beat entropy
+}
+
+TEST(Arithmetic, IncompressibleStringsStayIncompressible) {
+  std::mt19937_64 rng(1004);
+  bitio::BitVector bits;
+  for (int i = 0; i < 8192; ++i) bits.push_back(rng() & 1u);
+  EXPECT_GE(bitio::arithmetic_coded_bits(bits), bits.size() - 16);
+}
+
+TEST(Arithmetic, ConstantStringsCollapse) {
+  bitio::BitVector zeros(8192);
+  EXPECT_LT(bitio::arithmetic_coded_bits(zeros), 64u);
+}
+
+// --- Whole-graph compressor ----------------------------------------------------
+
+class CompressorFamilies : public ::testing::TestWithParam<int> {
+ public:
+  static Graph make(int which) {
+    Rng rng(1005);
+    switch (which) {
+      case 0: return graph::chain(40);
+      case 1: return graph::star(40);
+      case 2: return graph::grid(6, 7);
+      case 3: return graph::complete(24);
+      case 4: return graph::lower_bound_gb(10);
+      case 5: return graph::hypercube(5);
+      default: return graph::random_uniform(40, rng);
+    }
+  }
+};
+
+TEST_P(CompressorFamilies, RoundTripsExactly) {
+  const Graph g = make(GetParam());
+  const bitio::BitVector code = incompress::compress_graph(g);
+  EXPECT_EQ(incompress::decompress_graph(code, g.node_count()), g);
+  EXPECT_EQ(code.size(), incompress::compressed_graph_bits(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CompressorFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(Compressor, StructuredGraphsCompressRandomDoNot) {
+  const std::size_t n = 128;
+  const std::size_t eg = n * (n - 1) / 2;
+  // Sparse/structured: large savings.
+  EXPECT_LT(incompress::compressed_graph_bits(graph::chain(n)), eg / 4);
+  EXPECT_LT(incompress::compressed_graph_bits(graph::star(n)), eg / 4);
+  EXPECT_LT(incompress::compressed_graph_bits(graph::complete(n)), eg / 4);
+  // Random: within ~(½ log n + weight header) per row of incompressible.
+  Rng rng(1006);
+  const Graph g = graph::random_uniform(n, rng);
+  const std::size_t compressed = incompress::compressed_graph_bits(g);
+  EXPECT_GT(compressed, eg * 95 / 100);
+  EXPECT_LE(compressed, eg + n * 8);  // headers only
+}
+
+// --- Distributed construction ---------------------------------------------------
+
+class DistributedConstruction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedConstruction, BitIdenticalToCentralized) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1007);
+  const Graph g = core::certified_random_graph(n, rng);
+  const auto result = net::distributed_compact_construction(g);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(result.node_tables[u],
+              schemes::build_compact_node(g, u, {}).bits)
+        << "node " << u;
+  }
+}
+
+TEST_P(DistributedConstruction, MessageAccountingMatchesFormula) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1008);
+  const Graph g = core::certified_random_graph(n, rng);
+  const auto result = net::distributed_compact_construction(g);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.messages, 2 * g.edge_count());
+  std::uint64_t expected_bits = 0;
+  const unsigned id_width = bitio::ceil_log2(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    expected_bits += static_cast<std::uint64_t>(g.degree(v)) * g.degree(v) *
+                     id_width;
+  }
+  EXPECT_EQ(result.message_bits, expected_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistributedConstruction,
+                         ::testing::Values(48, 96));
+
+TEST(DistributedConstructionEdge, LoadedTablesRouteCorrectly) {
+  Rng rng(1009);
+  const Graph g = core::certified_random_graph(64, rng);
+  auto result = net::distributed_compact_construction(g);
+  const schemes::CompactDiam2Scheme scheme(
+      g, schemes::CompactDiam2Scheme::Options{},
+      std::move(result.node_tables));
+  const auto v = model::verify_scheme(g, scheme);
+  EXPECT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.max_stretch, 1.0);
+}
+
+TEST(DistributedConstructionEdge, FailsWhereCentralizedFails) {
+  EXPECT_THROW(net::distributed_compact_construction(graph::chain(10)),
+               schemes::SchemeInapplicable);
+}
+
+// --- Sampled verifier -----------------------------------------------------------
+
+TEST(SampledVerifier, AgreesWithExhaustiveOnCorrectSchemes) {
+  Rng rng(1010);
+  const Graph g = core::certified_random_graph(96, rng);
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  const auto sampled = model::verify_scheme_sampled(g, scheme, 2000, 7);
+  EXPECT_TRUE(sampled.all_delivered);
+  EXPECT_EQ(sampled.pairs_checked, 2000u);
+  EXPECT_DOUBLE_EQ(sampled.max_stretch, 1.0);
+}
+
+TEST(SampledVerifier, ScalesToLargeN) {
+  Rng rng(1011);
+  const Graph g = core::certified_random_graph(512, rng);
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  const auto sampled = model::verify_scheme_sampled(g, scheme, 3000, 11);
+  EXPECT_TRUE(sampled.all_delivered);
+  EXPECT_DOUBLE_EQ(sampled.max_stretch, 1.0);
+  // Theorem 1 bound holds at this scale too.
+  EXPECT_LE(scheme.space().max_node_bits(), 6u * 512);
+}
+
+}  // namespace
+}  // namespace optrt

@@ -1,0 +1,148 @@
+// BigUint arithmetic and binomial-coefficient tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "incompressibility/biguint.hpp"
+
+namespace optrt::incompress {
+namespace {
+
+TEST(BigUint, ZeroBasics) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.as_u64(), 0u);
+}
+
+TEST(BigUint, SmallValues) {
+  BigUint v(42);
+  EXPECT_FALSE(v.is_zero());
+  EXPECT_EQ(v.bit_length(), 6u);
+  EXPECT_EQ(v.to_string(), "42");
+  EXPECT_TRUE(v.fits_u64());
+}
+
+TEST(BigUint, AdditionMatchesU64) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng() >> 2;
+    const std::uint64_t b = rng() >> 2;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).as_u64(), a + b);
+  }
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  BigUint a(~std::uint64_t{0});
+  a += BigUint(1);
+  EXPECT_EQ(a.bit_length(), 65u);
+  EXPECT_FALSE(a.fits_u64());
+  EXPECT_EQ(a.to_string(), "18446744073709551616");
+}
+
+TEST(BigUint, SubtractionMatchesU64) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t a = rng();
+    std::uint64_t b = rng();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ((BigUint(a) - BigUint(b)).as_u64(), a - b);
+  }
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(3) -= BigUint(5), std::underflow_error);
+}
+
+TEST(BigUint, SubtractionBorrowsAcrossLimbs) {
+  BigUint big(~std::uint64_t{0});
+  big += BigUint(1);       // 2^64
+  big -= BigUint(1);       // 2^64 − 1
+  EXPECT_EQ(big.as_u64(), ~std::uint64_t{0});
+  EXPECT_TRUE(big.fits_u64());
+}
+
+TEST(BigUint, MulDivSmallInverse) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    BigUint v(rng());
+    v.mul_small(7);
+    v.mul_small(1000003);
+    BigUint copy = v;
+    EXPECT_EQ(copy.div_small(1000003), 0u);
+    EXPECT_EQ(copy.div_small(7), 0u);
+    v.div_small(7 * 1000003ULL);
+    EXPECT_EQ(copy, v);
+  }
+}
+
+TEST(BigUint, DivSmallReturnsRemainder) {
+  BigUint v(1000);
+  EXPECT_EQ(v.div_small(7), 1000 % 7);
+  EXPECT_EQ(v.as_u64(), 1000 / 7);
+  EXPECT_THROW(v.div_small(0), std::invalid_argument);
+}
+
+TEST(BigUint, ComparisonTotalOrder) {
+  EXPECT_TRUE(BigUint(3) < BigUint(5));
+  EXPECT_TRUE(BigUint(5) > BigUint(3));
+  EXPECT_TRUE(BigUint(5) == BigUint(5));
+  BigUint big(1);
+  for (int i = 0; i < 10; ++i) big.mul_small(1u << 30);
+  EXPECT_TRUE(BigUint(~std::uint64_t{0}) < big);
+}
+
+TEST(BigUint, BitAccess) {
+  BigUint v(0b1011);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigUint, ToDoubleApproximates) {
+  BigUint v(1);
+  for (int i = 0; i < 4; ++i) v.mul_small(1u << 16);
+  EXPECT_NEAR(v.to_double(), std::pow(2.0, 64.0), 1e3);
+}
+
+TEST(Binomial, SmallValuesExact) {
+  EXPECT_EQ(binomial(0, 0).as_u64(), 1u);
+  EXPECT_EQ(binomial(5, 2).as_u64(), 10u);
+  EXPECT_EQ(binomial(10, 5).as_u64(), 252u);
+  EXPECT_EQ(binomial(52, 5).as_u64(), 2598960u);
+  EXPECT_TRUE(binomial(4, 7).is_zero());
+}
+
+TEST(Binomial, PascalIdentityHoldsAtScale) {
+  for (std::uint64_t n : {17u, 64u, 200u}) {
+    for (std::uint64_t k : {1u, 3u, 7u}) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, SymmetryAndRowSums) {
+  EXPECT_EQ(binomial(300, 17), binomial(300, 283));
+  // Σ_k C(10, k) = 2^10.
+  BigUint sum(0);
+  for (std::uint64_t k = 0; k <= 10; ++k) sum += binomial(10, k);
+  EXPECT_EQ(sum.as_u64(), 1024u);
+}
+
+TEST(Binomial, CentralCoefficientBitLength) {
+  // C(1000, 500) has ⌈log₂⌉ ≈ 1000 − ½log₂(500π) ≈ 994.7 → 995 bits.
+  const std::size_t bits = binomial(1000, 500).bit_length();
+  EXPECT_GE(bits, 990u);
+  EXPECT_LE(bits, 1000u);
+}
+
+TEST(Binomial, StringOfFactorialScale) {
+  // 20! = 2432902008176640000 fits u64; check via C(20,10)·arrangement:
+  EXPECT_EQ(binomial(20, 10).to_string(), "184756");
+}
+
+}  // namespace
+}  // namespace optrt::incompress

@@ -1,0 +1,173 @@
+// Tests for the Theorem 1 per-node table: build/decode round trips, routing
+// correctness of the decoded view, and the 6n/7n size bounds.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "schemes/compact_node.hpp"
+#include "schemes/errors.hpp"
+
+namespace optrt::schemes {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+struct Variant {
+  const char* name;
+  CompactNodeOptions options;
+};
+
+class CompactNodeVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(CompactNodeVariants, DecodedNextHopIsAShortestPathIntermediary) {
+  Rng rng(41);
+  const Graph g = graph::random_uniform(96, rng);
+  const CompactNodeOptions opt = GetParam().options;
+  for (graph::NodeId u = 0; u < 12; ++u) {
+    const CompactNodeBits table = build_compact_node(g, u, opt);
+    std::vector<graph::NodeId> free_nbrs;
+    if (!opt.include_adjacency) {
+      const auto nbrs = g.neighbors(u);
+      free_nbrs.assign(nbrs.begin(), nbrs.end());
+    }
+    const DecodedCompactNode node =
+        decode_compact_node(table.bits, 96, u, opt, free_nbrs);
+    for (graph::NodeId w = 0; w < 96; ++w) {
+      if (w == u) {
+        EXPECT_EQ(node.next_of[w], DecodedCompactNode::kInvalid);
+        continue;
+      }
+      const graph::NodeId hop = node.next_of[w];
+      if (g.has_edge(u, w)) {
+        EXPECT_EQ(hop, w);
+      } else {
+        // An intermediary on a length-2 (= shortest) path.
+        EXPECT_TRUE(g.has_edge(u, hop));
+        EXPECT_TRUE(g.has_edge(hop, w));
+      }
+    }
+  }
+}
+
+TEST_P(CompactNodeVariants, DecodeConsumesFromBitsOnly) {
+  // The decoded view must come entirely from the serialized bits (plus
+  // free neighbour knowledge): flipping a table-2 index bit changes the
+  // decode.
+  Rng rng(43);
+  const Graph g = graph::random_uniform(64, rng);
+  const CompactNodeOptions opt = GetParam().options;
+  const CompactNodeBits table = build_compact_node(g, 0, opt);
+  std::vector<graph::NodeId> free_nbrs;
+  if (!opt.include_adjacency) {
+    const auto nbrs = g.neighbors(0);
+    free_nbrs.assign(nbrs.begin(), nbrs.end());
+  }
+  const DecodedCompactNode before =
+      decode_compact_node(table.bits, 64, 0, opt, free_nbrs);
+  ASSERT_GT(table.table2_bits, 0u);
+  bitio::BitVector tampered = table.bits;
+  const std::size_t pos = tampered.size() - 1;  // inside table 2
+  tampered.set(pos, !tampered.get(pos));
+  // The tampered description either decodes to a different table or is
+  // rejected as malformed — never silently identical.
+  try {
+    const DecodedCompactNode after =
+        decode_compact_node(tampered, 64, 0, opt, free_nbrs);
+    EXPECT_NE(before.next_of, after.next_of);
+  } catch (const std::out_of_range&) {
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CompactNodeVariants,
+    ::testing::Values(
+        Variant{"paper_ii", CompactNodeOptions{}},
+        Variant{"paper_ib", CompactNodeOptions{false, false, true}},
+        Variant{"greedy", CompactNodeOptions{true, false, false}},
+        Variant{"refined_threshold", CompactNodeOptions{false, true, false}},
+        Variant{"greedy_refined_ib", CompactNodeOptions{true, true, true}}),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      return info.param.name;
+    });
+
+class CompactNodeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompactNodeSizes, TheoremOneBoundHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  const Graph g = graph::random_uniform(n, rng);
+  for (graph::NodeId u = 0; u < std::min<std::size_t>(n, 16); ++u) {
+    // Model II: |F(u)| <= 6n.
+    const CompactNodeBits ii = build_compact_node(g, u, {});
+    EXPECT_LE(ii.bits.size(), 6 * n) << "n=" << n << " u=" << u;
+    // Model IB adds the n−1-bit interconnection vector: <= 7n.
+    CompactNodeOptions ib;
+    ib.include_adjacency = true;
+    EXPECT_LE(build_compact_node(g, u, ib).bits.size(), 7 * n);
+    // The refined threshold (paper: "choosing l such that m_l is the first
+    // quantity < n/log n shows |F(u)| <= 3n"). We allow slack for the m
+    // header and discretisation.
+    CompactNodeOptions refined;
+    refined.threshold_log = true;
+    EXPECT_LE(build_compact_node(g, u, refined).bits.size(), 3 * n + 64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompactNodeSizes,
+                         ::testing::Values(64, 128, 256, 512));
+
+TEST(CompactNode, UnaryTableStaysLinear) {
+  // Claim 1's geometric decay: table 1 <= 4n bits.
+  Rng rng(77);
+  const std::size_t n = 256;
+  const Graph g = graph::random_uniform(n, rng);
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    const CompactNodeBits table = build_compact_node(g, u, {});
+    EXPECT_LE(table.table1_bits, 4 * n);
+    EXPECT_LE(table.table2_bits, 2 * n);
+  }
+}
+
+TEST(CompactNode, ThrowsWhenCoverIncomplete) {
+  EXPECT_THROW(build_compact_node(graph::chain(8), 0, {}), SchemeInapplicable);
+}
+
+TEST(CompactNode, WorksOnStarCenterAndLeaves) {
+  const Graph g = graph::star(10);
+  // Centre: all nodes are neighbours; table trivial.
+  const CompactNodeBits centre = build_compact_node(g, 0, {});
+  const auto nbrs0 = g.neighbors(0);
+  const DecodedCompactNode c = decode_compact_node(
+      centre.bits, 10, 0, {}, {nbrs0.begin(), nbrs0.end()});
+  for (graph::NodeId w = 1; w < 10; ++w) EXPECT_EQ(c.next_of[w], w);
+  // Leaf: everything routed via the centre.
+  const CompactNodeBits leaf = build_compact_node(g, 3, {});
+  const auto nbrs3 = g.neighbors(3);
+  const DecodedCompactNode l =
+      decode_compact_node(leaf.bits, 10, 3, {}, {nbrs3.begin(), nbrs3.end()});
+  for (graph::NodeId w = 1; w < 10; ++w) {
+    if (w == 3) continue;
+    EXPECT_EQ(l.next_of[w], 0u);
+  }
+}
+
+TEST(CompactNode, GreedyTablesNoLargerThanPaperOrder) {
+  Rng rng(78);
+  const Graph g = graph::random_uniform(128, rng);
+  std::size_t paper_total = 0;
+  std::size_t greedy_total = 0;
+  for (graph::NodeId u = 0; u < 16; ++u) {
+    paper_total += build_compact_node(g, u, {}).bits.size();
+    CompactNodeOptions greedy;
+    greedy.greedy_cover = true;
+    greedy_total += build_compact_node(g, u, greedy).bits.size();
+  }
+  // Greedy pays for explicit center ranks but needs fewer centers; it
+  // should stay within 1.25× of the paper's order either way.
+  EXPECT_LT(greedy_total, paper_total * 5 / 4 + 16 * 64);
+  EXPECT_LT(paper_total, greedy_total * 5 / 4 + 16 * 64);
+}
+
+}  // namespace
+}  // namespace optrt::schemes

@@ -1,0 +1,124 @@
+// Tests for the core harness: statistics, power-law fits, tables, and the
+// certified-sampling experiment helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "graph/randomness.hpp"
+
+namespace optrt::core {
+namespace {
+
+TEST(Stats, SummaryOfKnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one = {3.5};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PowerFitRecoversExactLaw) {
+  // y = 3 · x².
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);
+  }
+  const PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp2(fit.log2_coefficient), 3.0, 1e-9);
+}
+
+TEST(Stats, PowerFitDetectsNLogN) {
+  // n log n fits with exponent slightly above 1 on this range.
+  std::vector<double> xs, ys;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    xs.push_back(x);
+    ys.push_back(x * std::log2(x));
+  }
+  const PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_GT(fit.exponent, 1.0);
+  EXPECT_LT(fit.exponent, 1.3);
+}
+
+TEST(Stats, PowerFitRejectsDegenerateInput) {
+  EXPECT_THROW(fit_power_law(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_power_law(std::vector<double>{1.0, 2.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"model", "bits"});
+  t.add_row({"II.alpha", "123"});
+  t.add_rule();
+  t.add_row({"IA.alpha", "456789"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| model"), std::string::npos);
+  EXPECT_NE(out.find("| II.alpha"), std::string::npos);
+  EXPECT_NE(out.find("456789"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsMagnitudes) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_NE(TextTable::num(1.5e9).find("e"), std::string::npos);
+  EXPECT_EQ(TextTable::num(0.0, 1), "0.0");
+}
+
+TEST(Experiment, CertifiedSamplerReturnsCertifiedGraphs) {
+  graph::Rng rng(1);
+  const graph::Graph g = certified_random_graph(64, rng);
+  EXPECT_TRUE(graph::certify(g).ok());
+}
+
+TEST(Experiment, CertifiedSamplerGivesUpOnImpossibleSizes) {
+  // No 2-node graph has diameter exactly 2 (it is complete or
+  // disconnected), so certification can never succeed.
+  graph::Rng rng(2);
+  EXPECT_THROW(certified_random_graph(2, rng, /*c=*/3.0, /*max_attempts=*/8),
+               std::runtime_error);
+}
+
+TEST(Experiment, SweepProducesPointsAndMeans) {
+  const auto points = sweep_certified(
+      {32, 48}, 3, [](const graph::Graph& g) {
+        return static_cast<double>(g.edge_count());
+      });
+  EXPECT_EQ(points.size(), 6u);
+  const double m32 = mean_at(points, 32);
+  const double expected32 = 32.0 * 31 / 4;  // |E| ≈ n(n−1)/4 in G(n,1/2)
+  EXPECT_NEAR(m32, expected32, expected32 * 0.15);
+  EXPECT_EQ(mean_at(points, 99), 0.0);
+}
+
+}  // namespace
+}  // namespace optrt::core

@@ -1,0 +1,220 @@
+// Tests for Lemma 3 covers and the Lemma 1–3 randomness certificate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/ports.hpp"
+#include "graph/randomness.hpp"
+
+namespace optrt::graph {
+namespace {
+
+TEST(Cover, CompleteGraphHasEmptyCover) {
+  const Graph g = complete(6);
+  const NeighborCover cover = least_neighbor_cover(g, 0);
+  EXPECT_TRUE(cover.complete);
+  EXPECT_TRUE(cover.centers.empty());  // no non-neighbours to cover
+  EXPECT_EQ(cover.covered_count(), 0u);
+}
+
+TEST(Cover, StarCenterCoversInstantly) {
+  const Graph g = star(8);
+  // Leaves: all other leaves are non-neighbours, covered by the centre.
+  const NeighborCover cover = least_neighbor_cover(g, 3);
+  EXPECT_TRUE(cover.complete);
+  ASSERT_EQ(cover.centers.size(), 1u);
+  EXPECT_EQ(cover.centers[0], 0u);
+  EXPECT_EQ(cover.covered_count(), 6u);  // 8 − centre − self
+}
+
+TEST(Cover, ChainEndpointIncomplete) {
+  const Graph g = chain(6);
+  const NeighborCover cover = least_neighbor_cover(g, 0);
+  EXPECT_FALSE(cover.complete);  // nodes at distance > 2 exist
+}
+
+TEST(Cover, CovererIsFirstAdjacentCenter) {
+  Rng rng(21);
+  const Graph g = random_uniform(64, rng);
+  const NeighborCover cover = least_neighbor_cover(g, 0);
+  ASSERT_TRUE(cover.complete);
+  for (NodeId w = 0; w < 64; ++w) {
+    const auto c = cover.coverer[w];
+    if (c == kNoCoverer) continue;
+    EXPECT_TRUE(g.has_edge(cover.centers[c], w));
+    // No earlier center is adjacent to w.
+    for (std::uint32_t e = 0; e < c; ++e) {
+      EXPECT_FALSE(g.has_edge(cover.centers[e], w));
+    }
+  }
+}
+
+TEST(Cover, LeastCoverCentersArePrefixOfNeighbors) {
+  Rng rng(22);
+  const Graph g = random_uniform(64, rng);
+  for (NodeId u = 0; u < 8; ++u) {
+    const NeighborCover cover = least_neighbor_cover(g, u);
+    const auto nbrs = g.neighbors(u);
+    ASSERT_LE(cover.centers.size(), nbrs.size());
+    for (std::size_t i = 0; i < cover.centers.size(); ++i) {
+      EXPECT_EQ(cover.centers[i], nbrs[i]);
+    }
+  }
+}
+
+TEST(Cover, GreedyNeverLargerThanLeast) {
+  Rng rng(23);
+  const Graph g = random_uniform(96, rng);
+  for (NodeId u = 0; u < 16; ++u) {
+    const auto least = least_neighbor_cover(g, u);
+    const auto greedy = greedy_neighbor_cover(g, u);
+    ASSERT_TRUE(least.complete);
+    ASSERT_TRUE(greedy.complete);
+    EXPECT_LE(greedy.centers.size(), least.centers.size());
+  }
+}
+
+TEST(Cover, SelfAndNeighborsHaveNoCoverer) {
+  Rng rng(24);
+  const Graph g = random_uniform(48, rng);
+  const NeighborCover cover = least_neighbor_cover(g, 5);
+  EXPECT_EQ(cover.coverer[5], kNoCoverer);
+  for (NodeId v : g.neighbors(5)) EXPECT_EQ(cover.coverer[v], kNoCoverer);
+}
+
+class CoverSizeLemma3 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CoverSizeLemma3, CertifiedGraphsHaveLogarithmicCovers) {
+  const std::size_t n = GetParam();
+  Rng rng(31 + n);
+  const Graph g = random_uniform(n, rng);
+  const auto bound = static_cast<std::size_t>(
+      std::ceil(6.0 * std::log2(static_cast<double>(n))));
+  for (NodeId u = 0; u < n; ++u) {
+    const NeighborCover cover = least_neighbor_cover(g, u);
+    EXPECT_TRUE(cover.complete);
+    EXPECT_LE(cover.centers.size(), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoverSizeLemma3,
+                         ::testing::Values(32, 64, 128, 256));
+
+class Claim1Decay : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Claim1Decay, EachCenterCoversAThirdOfTheRemainder) {
+  // Claim 1 (proof of Theorem 1): for t ≤ l (while more than n/loglog n
+  // non-neighbours remain), |A_t| ≥ (1/3)·m_{t−1} — each successive least
+  // neighbour absorbs at least a third of what is left.
+  const std::size_t n = GetParam();
+  Rng rng(500 + n);
+  const Graph g = random_uniform(n, rng);
+  const double threshold =
+      static_cast<double>(n) / std::log2(std::log2(static_cast<double>(n)));
+  for (NodeId u = 0; u < 12; ++u) {
+    const NeighborCover cover = least_neighbor_cover(g, u);
+    ASSERT_TRUE(cover.complete);
+    std::vector<std::size_t> covered_by(cover.centers.size(), 0);
+    std::size_t m0 = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (cover.coverer[w] != kNoCoverer) {
+        ++covered_by[cover.coverer[w]];
+        ++m0;
+      }
+    }
+    double remaining = static_cast<double>(m0);
+    for (std::size_t t = 0; t < covered_by.size(); ++t) {
+      if (remaining <= threshold) break;  // Claim 1 only speaks below l
+      EXPECT_GE(static_cast<double>(covered_by[t]), remaining / 3.0)
+          << "n=" << n << " u=" << u << " t=" << t;
+      remaining -= static_cast<double>(covered_by[t]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Claim1Decay,
+                         ::testing::Values(64, 128, 256, 512));
+
+TEST(Reproducibility, GraphsAreDeterministicGivenSeeds) {
+  // A reproduction repo must reproduce itself: same seed → identical graph.
+  for (int round = 0; round < 2; ++round) {
+    // (Loop catches accidental global state between constructions.)
+    Rng r1(424242), r2(424242);
+    ASSERT_EQ(random_uniform(96, r1), random_uniform(96, r2));
+    Rng p1(7), p2(7);
+    const Graph g = chain(12);
+    const PortAssignment a = PortAssignment::random(g, p1);
+    const PortAssignment b = PortAssignment::random(g, p2);
+    for (NodeId u = 0; u < 12; ++u) {
+      const auto sa = a.ports(u);
+      const auto sb = b.ports(u);
+      ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+    }
+  }
+}
+
+// --- Randomness certificate --------------------------------------------------
+
+TEST(Certificate, UniformGraphsPass) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = random_uniform(128, rng);
+    const RandomnessCertificate cert = certify(g);
+    EXPECT_TRUE(cert.degrees_concentrated) << "seed " << seed;
+    EXPECT_TRUE(cert.diameter_two) << "seed " << seed;
+    EXPECT_TRUE(cert.covers_small) << "seed " << seed;
+    EXPECT_TRUE(cert.ok());
+  }
+}
+
+TEST(Certificate, ChainFailsEverything) {
+  const RandomnessCertificate cert = certify(chain(64));
+  EXPECT_FALSE(cert.degrees_concentrated);  // degree 2 vs (n−1)/2
+  EXPECT_FALSE(cert.diameter_two);
+  EXPECT_FALSE(cert.ok());
+}
+
+TEST(Certificate, CompleteGraphFailsLemma2) {
+  // "The only graphs with diameter 1 are the complete graphs … hence not
+  // random."
+  const RandomnessCertificate cert = certify(complete(32));
+  EXPECT_FALSE(cert.diameter_two);
+  EXPECT_EQ(cert.diameter_bound_witness, 1u);
+  EXPECT_FALSE(cert.ok());
+}
+
+TEST(Certificate, StarFailsDegreeConcentration) {
+  const RandomnessCertificate cert = certify(star(64));
+  EXPECT_FALSE(cert.degrees_concentrated);
+  EXPECT_FALSE(cert.ok());
+}
+
+TEST(Certificate, SparseGnpFailsDiameter) {
+  Rng rng(2);
+  const Graph g = random_gnp(64, 0.05, rng);
+  EXPECT_FALSE(certify(g).ok());
+}
+
+TEST(DiameterAtMost2, AgreesWithDistanceMatrix) {
+  EXPECT_TRUE(has_diameter_at_most_2(star(10)));
+  EXPECT_TRUE(has_diameter_at_most_2(complete(10)));
+  EXPECT_FALSE(has_diameter_at_most_2(chain(4)));
+  EXPECT_FALSE(has_diameter_at_most_2(ring(6)));
+  EXPECT_TRUE(has_diameter_at_most_2(ring(5)));
+}
+
+TEST(Certificate, DeviationBoundScalesLikeSqrtNLogN) {
+  Rng rng(5);
+  const Graph g = random_uniform(256, rng);
+  const RandomnessCertificate cert = certify(g);
+  const double expected =
+      std::sqrt(255.0 * (4.0 * std::log(256.0) + std::log(2.0)) / 2.0);
+  EXPECT_NEAR(cert.degree_deviation_bound, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace optrt::graph

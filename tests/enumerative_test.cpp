@@ -1,0 +1,115 @@
+// Enumerative-coding tests: the combinatorial number system rank/unrank
+// bijection and the fixed-weight stream codec Lemma 1 relies on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitio/bit_stream.hpp"
+#include "incompressibility/enumerative.hpp"
+
+namespace optrt::incompress {
+namespace {
+
+bitio::BitVector random_string(std::size_t n, std::size_t k,
+                               std::mt19937_64& rng) {
+  // Uniform n-bit string with exactly k ones (Fisher–Yates on positions).
+  std::vector<std::size_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = i;
+  std::shuffle(pos.begin(), pos.end(), rng);
+  bitio::BitVector bits(n);
+  for (std::size_t i = 0; i < k; ++i) bits.set(pos[i], true);
+  return bits;
+}
+
+TEST(Enumerative, RankOfExtremes) {
+  // All-ones and all-zeros are the unique members of their ensembles.
+  bitio::BitVector zeros(8);
+  EXPECT_TRUE(rank_fixed_weight(zeros).is_zero());
+  bitio::BitVector ones;
+  for (int i = 0; i < 8; ++i) ones.push_back(true);
+  EXPECT_TRUE(rank_fixed_weight(ones).is_zero());
+  EXPECT_EQ(fixed_weight_code_bits(8, 0), 0u);
+  EXPECT_EQ(fixed_weight_code_bits(8, 8), 0u);
+}
+
+TEST(Enumerative, RankIsBijectiveOnSmallEnsemble) {
+  // n = 6, k = 3: all 20 strings get distinct ranks in [0, 20).
+  const BigUint count = binomial(6, 3);
+  std::vector<bool> seen(20, false);
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    if (__builtin_popcount(mask) != 3) continue;
+    bitio::BitVector bits(6);
+    for (unsigned b = 0; b < 6; ++b) {
+      if (mask & (1u << b)) bits.set(b, true);
+    }
+    const BigUint rank = rank_fixed_weight(bits);
+    ASSERT_TRUE(rank < count);
+    ASSERT_TRUE(rank.fits_u64());
+    EXPECT_FALSE(seen[rank.as_u64()]);
+    seen[rank.as_u64()] = true;
+    // And unrank inverts.
+    EXPECT_EQ(unrank_fixed_weight(6, 3, rank), bits);
+  }
+}
+
+struct Ensemble {
+  std::size_t n;
+  std::size_t k;
+};
+
+class EnumerativeRoundTrip : public ::testing::TestWithParam<Ensemble> {};
+
+TEST_P(EnumerativeRoundTrip, UnrankInvertsRank) {
+  const auto [n, k] = GetParam();
+  std::mt19937_64 rng(n * 31 + k);
+  for (int trial = 0; trial < 10; ++trial) {
+    const bitio::BitVector bits = random_string(n, k, rng);
+    EXPECT_EQ(unrank_fixed_weight(n, k, rank_fixed_weight(bits)), bits);
+  }
+}
+
+TEST_P(EnumerativeRoundTrip, StreamCodecRoundTrips) {
+  const auto [n, k] = GetParam();
+  std::mt19937_64 rng(n * 37 + k);
+  const bitio::BitVector bits = random_string(n, k, rng);
+  bitio::BitWriter w;
+  write_fixed_weight(w, bits);
+  EXPECT_EQ(w.bit_count(), fixed_weight_total_bits(n, k));
+  bitio::BitReader r(w.bits());
+  EXPECT_EQ(read_fixed_weight(r, n), bits);
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ensembles, EnumerativeRoundTrip,
+    ::testing::Values(Ensemble{1, 0}, Ensemble{1, 1}, Ensemble{8, 4},
+                      Ensemble{16, 2}, Ensemble{63, 31}, Ensemble{64, 32},
+                      Ensemble{65, 1}, Ensemble{127, 14}, Ensemble{255, 127},
+                      Ensemble{511, 40}, Ensemble{1023, 511}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(Enumerative, CodeBitsMatchCeilLog2Binomial) {
+  EXPECT_EQ(fixed_weight_code_bits(6, 3), 5u);    // C=20 → 5 bits
+  EXPECT_EQ(fixed_weight_code_bits(10, 5), 8u);   // C=252 → 8 bits
+  EXPECT_EQ(fixed_weight_code_bits(4, 2), 3u);    // C=6 → 3 bits
+  EXPECT_EQ(fixed_weight_code_bits(2, 1), 1u);    // C=2 → 1 bit
+}
+
+TEST(Enumerative, DeviantWeightsCompressBelowLiteral) {
+  // The Chernoff effect Lemma 1 exploits: weight far from n/2 → short code.
+  const std::size_t n = 501;
+  EXPECT_LT(fixed_weight_total_bits(n, 50), n - 200);
+  EXPECT_LT(fixed_weight_total_bits(n, n - 50), n - 200);
+  // Balanced weight stays close to the literal length.
+  EXPECT_GT(fixed_weight_total_bits(n, 250), n - 10);
+}
+
+TEST(Enumerative, UnrankRejectsOutOfRange) {
+  EXPECT_THROW(unrank_fixed_weight(6, 3, binomial(6, 3)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace optrt::incompress

@@ -1,0 +1,136 @@
+// Exhaustive small-n tests: every labelled graph on 5 nodes (1024 of them,
+// Definition 2 makes enumeration a counter loop). The strongest safety net
+// in the suite — no sampling, every connected instance must route.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/cover.hpp"
+#include "graph/encoding.hpp"
+#include "graph/randomness.hpp"
+#include "incompressibility/graph_compressor.hpp"
+#include "incompressibility/lemma_codecs.hpp"
+#include "model/verifier.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/errors.hpp"
+#include "schemes/full_information.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/k_interval.hpp"
+
+namespace optrt {
+namespace {
+
+constexpr std::size_t kN = 5;
+constexpr std::size_t kSlots = kN * (kN - 1) / 2;  // 10
+constexpr std::uint64_t kAll = 1u << kSlots;       // 1024
+
+graph::Graph graph_from_code(std::uint64_t code) {
+  bitio::BitVector eg(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    if ((code >> i) & 1u) eg.set(i, true);
+  }
+  return graph::decode(eg, kN);
+}
+
+TEST(ExhaustiveSmall, EncodingIsABijection) {
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    const bitio::BitVector eg = graph::encode(g);
+    std::uint64_t back = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      if (eg.get(i)) back |= std::uint64_t{1} << i;
+    }
+    ASSERT_EQ(back, code);
+  }
+}
+
+TEST(ExhaustiveSmall, FullTableRoutesEveryConnectedGraph) {
+  std::size_t connected = 0;
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    const auto scheme = schemes::FullTableScheme::standard(g);
+    const auto result = model::verify_scheme(g, scheme);
+    ASSERT_TRUE(result.ok()) << "code " << code;
+    if (graph::is_connected(g)) {
+      ++connected;
+      ASSERT_DOUBLE_EQ(result.max_stretch, 1.0) << "code " << code;
+    }
+  }
+  // OEIS A001187: 728 connected labelled graphs on 5 nodes.
+  EXPECT_EQ(connected, 728u);
+}
+
+TEST(ExhaustiveSmall, FullInformationExactEverywhere) {
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    const auto scheme = schemes::FullInformationScheme::standard(g);
+    ASSERT_TRUE(model::verify_full_information(g, scheme).exact)
+        << "code " << code;
+  }
+}
+
+TEST(ExhaustiveSmall, CompactAppliesExactlyOnCoveredGraphs) {
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    // Applicability criterion: every node's neighbours dominate its
+    // non-neighbours.
+    bool covered = true;
+    for (graph::NodeId u = 0; u < kN && covered; ++u) {
+      covered = graph::least_neighbor_cover(g, u).complete;
+    }
+    try {
+      const schemes::CompactDiam2Scheme scheme(g, {});
+      ASSERT_TRUE(covered) << "code " << code;
+      const auto result = model::verify_scheme(g, scheme);
+      ASSERT_TRUE(result.ok()) << "code " << code;
+      ASSERT_DOUBLE_EQ(result.max_stretch, 1.0) << "code " << code;
+    } catch (const schemes::SchemeInapplicable&) {
+      ASSERT_FALSE(covered) << "code " << code;
+    }
+  }
+}
+
+TEST(ExhaustiveSmall, KIntervalRoutesEveryConnectedGraph) {
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    if (!graph::is_connected(g)) continue;
+    const schemes::KIntervalScheme scheme(g);
+    const auto result = model::verify_scheme(g, scheme);
+    ASSERT_TRUE(result.ok()) << "code " << code;
+    ASSERT_DOUBLE_EQ(result.max_stretch, 1.0) << "code " << code;
+  }
+}
+
+TEST(ExhaustiveSmall, CodecsRoundTripEveryGraph) {
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    // Lemma 1 codec, all witnesses.
+    for (graph::NodeId u = 0; u < kN; ++u) {
+      const auto d = incompress::lemma1_encode(g, u);
+      ASSERT_EQ(incompress::lemma1_decode(d.bits, kN), g) << code;
+    }
+    // Whole-graph compressor.
+    ASSERT_EQ(incompress::decompress_graph(incompress::compress_graph(g), kN),
+              g)
+        << code;
+  }
+}
+
+TEST(ExhaustiveSmall, DiameterTwoCountMatchesHandCount) {
+  // Cross-check has_diameter_at_most_2 against the distance matrix on all
+  // 1024 graphs.
+  std::size_t diam_le2 = 0;
+  for (std::uint64_t code = 0; code < kAll; ++code) {
+    const graph::Graph g = graph_from_code(code);
+    const bool fast = graph::has_diameter_at_most_2(g);
+    const graph::DistanceMatrix dist(g);
+    const bool slow =
+        dist.connected() && dist.diameter() <= 2;
+    ASSERT_EQ(fast, slow) << "code " << code;
+    if (fast) ++diam_le2;
+  }
+  EXPECT_GT(diam_le2, 300u);
+  EXPECT_LT(diam_le2, 728u);
+}
+
+}  // namespace
+}  // namespace optrt

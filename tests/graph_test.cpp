@@ -1,0 +1,242 @@
+// Tests for the graph substrate: structure, E(G) encoding (Definition 2),
+// and generators including the Theorem 9 graph G_B.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/encoding.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace optrt::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AddEdgeSymmetric) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopDuplicateOutOfRange) {
+  Graph g(4);
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 4), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSortedEvenWithUnsortedInsertion) {
+  Graph g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 1);
+  g.add_edge(3, 4);
+  g.add_edge(3, 0);
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, RowWordsMatchHasEdge) {
+  Rng rng(3);
+  const Graph g = random_gnp(100, 0.3, rng);
+  for (NodeId u = 0; u < 100; ++u) {
+    const auto row = g.row_words(u);
+    for (NodeId v = 0; v < 100; ++v) {
+      const bool bit = (row[v >> 6] >> (v & 63)) & 1u;
+      EXPECT_EQ(bit, g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Graph, MinMaxDegree) {
+  const Graph g = star(8);
+  EXPECT_EQ(g.max_degree(), 7u);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+// --- Definition 2: E(G) ------------------------------------------------------
+
+TEST(Encoding, EdgeIndexIsLexicographic) {
+  // n = 4: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+  EXPECT_EQ(edge_index(4, 0, 1), 0u);
+  EXPECT_EQ(edge_index(4, 0, 3), 2u);
+  EXPECT_EQ(edge_index(4, 1, 2), 3u);
+  EXPECT_EQ(edge_index(4, 2, 3), 5u);
+  EXPECT_EQ(edge_index(4, 3, 2), 5u);  // symmetric
+}
+
+class EdgeIndexInverse : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EdgeIndexInverse, RoundTripsAllPositions) {
+  const std::size_t n = GetParam();
+  for (std::size_t i = 0; i < n * (n - 1) / 2; ++i) {
+    const EdgePair e = edge_from_index(n, i);
+    EXPECT_LT(e.u, e.v);
+    EXPECT_EQ(edge_index(n, e.u, e.v), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EdgeIndexInverse,
+                         ::testing::Values(2, 3, 5, 10, 33, 64));
+
+TEST(Encoding, LengthIsNChoose2) {
+  Rng rng(1);
+  const Graph g = random_uniform(20, rng);
+  EXPECT_EQ(encode(g).size(), 20u * 19 / 2);
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodingRoundTrip, DecodeInvertsEncode) {
+  Rng rng(GetParam());
+  const Graph g = random_uniform(48, rng);
+  EXPECT_EQ(decode(encode(g), 48), g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Encoding, DecodeRejectsWrongLength) {
+  bitio::BitVector bits(10);
+  EXPECT_THROW(decode(bits, 6), std::invalid_argument);
+}
+
+TEST(Encoding, EveryBitStringIsAGraph) {
+  // Definition 2: the correspondence is onto.
+  bitio::BitVector bits(6);  // n = 4
+  bits.set(0, true);         // edge (0,1)
+  bits.set(5, true);         // edge (2,3)
+  const Graph g = decode(bits, 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+// --- Generators --------------------------------------------------------------
+
+TEST(Generators, ChainStructure) {
+  const Graph g = chain(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Generators, RingHasUniformDegree2) {
+  const Graph g = ring(7);
+  EXPECT_EQ(g.edge_count(), 7u);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.min_degree(), 5u);
+}
+
+TEST(Generators, GridDegrees) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_EQ(g.degree(0), 2u);                  // corner
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(11);
+  const Graph g = random_gnp(200, 0.5, rng);
+  const double expected = 200.0 * 199 / 2 * 0.5;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 5 * std::sqrt(expected));
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(random_gnp(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(random_gnp(10, 1.0, rng).edge_count(), 45u);
+  EXPECT_THROW(random_gnp(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, UniformIsSeedDeterministic) {
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(random_uniform(30, a), random_uniform(30, b));
+  Rng a2(5);
+  EXPECT_FALSE(random_uniform(30, a2) == random_uniform(30, c));
+}
+
+// --- The Theorem 9 graph G_B -------------------------------------------------
+
+TEST(GB, StructureMatchesFigure1) {
+  const std::size_t k = 6;
+  const Graph g = lower_bound_gb(k);
+  EXPECT_EQ(g.node_count(), 3 * k);
+  // Middle nodes: degree k (bottom row) + 1 (top partner).
+  for (NodeId mid = k; mid < 2 * k; ++mid) EXPECT_EQ(g.degree(mid), k + 1);
+  // Bottom nodes connect to all middles, top nodes to their partner only.
+  for (NodeId b = 0; b < k; ++b) EXPECT_EQ(g.degree(b), k);
+  for (NodeId t = 2 * k; t < 3 * k; ++t) EXPECT_EQ(g.degree(t), 1u);
+}
+
+TEST(GB, ShortestPathBottomToTopIsTwoViaPartner) {
+  const std::size_t k = 5;
+  const Graph g = lower_bound_gb(k);
+  const DistanceMatrix dist(g);
+  for (NodeId b = 0; b < k; ++b) {
+    for (NodeId t = 2 * k; t < 3 * k; ++t) {
+      EXPECT_EQ(dist.at(b, t), 2u);
+      // The unique intermediary is the partner t − k.
+      const auto succ = shortest_path_successors(g, dist, b, t);
+      ASSERT_EQ(succ.size(), 1u);
+      EXPECT_EQ(succ[0], t - k);
+    }
+  }
+}
+
+TEST(GB, AlternativePathsHaveLengthAtLeast4) {
+  // Remove the partner edge mentally: the next-best route b → mid' → b' →
+  // partner → t has 4 edges. Verify via a modified graph.
+  const std::size_t k = 4;
+  Graph g(3 * k);
+  for (NodeId mid = k; mid < 2 * k; ++mid) {
+    for (NodeId b = 0; b < k; ++b) g.add_edge(b, mid);
+  }
+  // Only connect top t to its partner; check distance from bottom avoiding
+  // the direct partner hop by removing it: build without one partner edge.
+  for (NodeId mid = k; mid + 1 < 2 * k; ++mid) {
+    g.add_edge(mid, mid + k);
+  }
+  // Top node 3k−1 has no partner edge at all → unreachable.
+  const DistanceMatrix dist(g);
+  EXPECT_EQ(dist.at(0, 3 * k - 1), kUnreachable);
+}
+
+TEST(GB, PermutedVariantPlantsThePermutation) {
+  const std::size_t k = 5;
+  const std::vector<NodeId> perm = {3, 1, 4, 0, 2};
+  const Graph g = lower_bound_gb_permuted(k, perm);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_TRUE(g.has_edge(static_cast<NodeId>(k + i),
+                           static_cast<NodeId>(2 * k + perm[i])));
+  }
+  EXPECT_THROW(lower_bound_gb_permuted(k, {0, 1, 2, 3, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(lower_bound_gb_permuted(k, {0, 1}), std::invalid_argument);
+}
+
+TEST(GB, IdentityPermEqualsPlainGB) {
+  const std::size_t k = 4;
+  EXPECT_EQ(lower_bound_gb(k), lower_bound_gb_permuted(k, {0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace optrt::graph

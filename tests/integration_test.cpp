@@ -1,0 +1,177 @@
+// Integration tests: the full pipeline (sample → certify → compile →
+// verify → account → simulate → codec round-trip) across models,
+// objectives, and graph families — the library exercised the way the bench
+// harness and a downstream user would.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optrt.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+TEST(Integration, FullPipelineOnOneCertifiedGraph) {
+  Rng rng(42);
+  const Graph g = core::certified_random_graph(96, rng);
+
+  // 1. Certificate gates the construction.
+  const auto cert = graph::certify(g);
+  ASSERT_TRUE(cert.ok());
+
+  // 2. Compile under every model; verify shortest-path correctness and the
+  //    Table 1 size ordering: II∧γ < IB/II compact < IA full table.
+  std::size_t gamma_bits = 0, compact_bits = 0, table_bits = 0;
+  for (const model::Model& m : model::Model::all()) {
+    const auto scheme = schemes::compile(g, m);
+    const auto result = model::verify_scheme(g, *scheme);
+    ASSERT_TRUE(result.ok()) << m.name();
+    ASSERT_DOUBLE_EQ(result.max_stretch, 1.0) << m.name();
+    const std::size_t bits = scheme->space().total_bits();
+    if (m == model::kIIgamma) gamma_bits = bits;
+    if (m == model::kIIalpha) compact_bits = bits;
+    if (m == model::kIAalpha) table_bits = bits;
+  }
+  EXPECT_LT(gamma_bits, compact_bits);   // O(n log²n) < O(n²)
+  EXPECT_LT(compact_bits, table_bits);   // O(n²) < O(n² log n)
+
+  // 3. Stretch ladder: Theorems 3, 4, 5 trade space for stretch.
+  schemes::CompileOptions opt;
+  opt.objective = schemes::Objective::kStretchBelow2;
+  const auto t3 = schemes::compile(g, model::kIIalpha, opt);
+  opt.objective = schemes::Objective::kStretch2;
+  const auto t4 = schemes::compile(g, model::kIIalpha, opt);
+  opt.objective = schemes::Objective::kStretchLog;
+  const auto t5 = schemes::compile(g, model::kIIalpha, opt);
+  EXPECT_LE(model::verify_scheme(g, *t3).max_stretch, 1.5);
+  EXPECT_LE(model::verify_scheme(g, *t4).max_stretch, 2.0);
+  EXPECT_GT(t3->space().total_bits(), t4->space().total_bits());
+  EXPECT_GT(t4->space().total_bits(), t5->space().total_bits());
+
+  // 4. Simulate traffic through the compact scheme.
+  const auto compact = schemes::compile(g, model::kIIalpha);
+  net::Simulator sim(g, *compact);
+  Rng traffic_rng(7);
+  for (const auto& [u, v] : net::uniform_random(96, 500, traffic_rng)) {
+    sim.send(u, v);
+  }
+  const auto stats = sim.run();
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_LE(stats.mean_hops(), 2.0);
+
+  // 5. The Theorem 6 codec round-trips through the same compact tables.
+  const auto t6 = incompress::theorem6_encode(g, 0);
+  EXPECT_EQ(incompress::theorem6_decode(t6.description.bits, 96), g);
+}
+
+TEST(Integration, EncodingAndCodecsAgreeOnEveryFamily) {
+  // E(G) and the Lemma 1 codec must round-trip on all generator families.
+  Rng rng(3);
+  const std::vector<Graph> graphs = {
+      graph::chain(20),         graph::ring(21),
+      graph::star(22),          graph::grid(4, 6),
+      graph::complete(12),      graph::random_gnp(24, 0.3, rng),
+      graph::lower_bound_gb(7),
+  };
+  for (const Graph& g : graphs) {
+    const std::size_t n = g.node_count();
+    EXPECT_EQ(graph::decode(graph::encode(g), n), g);
+    const auto d = incompress::lemma1_encode(g, 0);
+    EXPECT_EQ(incompress::lemma1_decode(d.bits, n), g);
+  }
+}
+
+TEST(Integration, Table1SizeShapeAcrossN) {
+  // The average-case upper-bound rows of Table 1 in miniature: measure at
+  // two sizes and check the growth exponents are ordered
+  //   II∧γ (n log²n)  <  II (n²)  ≤  IA (n² log n).
+  const std::vector<std::size_t> ns = {48, 96};
+  std::vector<double> gamma, compact, table;
+  for (std::size_t n : ns) {
+    Rng rng(n);
+    const Graph g = core::certified_random_graph(n, rng);
+    gamma.push_back(static_cast<double>(
+        schemes::NeighborLabelScheme(g).space().total_bits()));
+    compact.push_back(static_cast<double>(
+        schemes::CompactDiam2Scheme(g, {}).space().total_bits()));
+    table.push_back(static_cast<double>(
+        schemes::FullTableScheme::standard(g).space().total_bits()));
+  }
+  const double growth_gamma = gamma[1] / gamma[0];
+  const double growth_compact = compact[1] / compact[0];
+  const double growth_table = table[1] / table[0];
+  EXPECT_LT(growth_gamma, growth_compact);
+  EXPECT_LE(growth_compact, growth_table * 1.05);
+  // Compact scheme doubles n → ≈ 4× bits (Θ(n²)).
+  EXPECT_NEAR(growth_compact, 4.0, 1.0);
+}
+
+TEST(Integration, FailureRecoveryOnlyWithFullInformation) {
+  Rng rng(11);
+  const Graph g = core::certified_random_graph(64, rng);
+  // Choose a distance-2 pair and fail one of its shortest-path first hops.
+  const schemes::FullInformationScheme full =
+      schemes::FullInformationScheme::standard(g);
+  graph::NodeId dst = 0;
+  for (graph::NodeId v = 1; v < 64; ++v) {
+    if (!g.has_edge(0, v)) {
+      dst = v;
+      break;
+    }
+  }
+  ASSERT_NE(dst, 0u);
+  const auto alternatives = full.all_next_hops(0, dst);
+  ASSERT_GT(alternatives.size(), 1u);
+
+  net::Simulator full_sim(g, full);
+  full_sim.fail_link(0, alternatives[0]);
+  full_sim.send(0, dst);
+  EXPECT_EQ(full_sim.run().delivered, 1u);
+
+  const auto table = schemes::FullTableScheme::standard(g);
+  net::Simulator table_sim(g, table);
+  model::MessageHeader h;
+  const graph::NodeId first = table.next_hop(0, dst, h);
+  table_sim.fail_link(0, first);
+  table_sim.send(0, dst);
+  EXPECT_EQ(table_sim.run().dropped, 1u);
+}
+
+TEST(Integration, WorstCaseAndAverageCaseCoexist) {
+  // The same library covers both regimes: G_B (worst case, Theorem 9) and
+  // certified random graphs (average case, Theorems 1–7, 10).
+  const std::size_t k = 16;
+  Rng rng(13);
+  std::vector<graph::NodeId> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const Graph gb = graph::lower_bound_gb_permuted(k, perm);
+  // G_B is decidedly not Kolmogorov random:
+  EXPECT_FALSE(graph::certify(gb).ok());
+  // …but the universal strategy still routes it (fallback):
+  const auto scheme = schemes::compile(gb, model::kIIalpha);
+  EXPECT_EQ(scheme->name(), "full-table");
+  EXPECT_TRUE(model::verify_scheme(gb, *scheme).ok());
+  // …and the planted permutation is recoverable from its tables:
+  EXPECT_EQ(incompress::recover_top_permutation(*scheme, k, 0), perm);
+}
+
+TEST(Integration, HeaderOverheadStaysLogarithmic) {
+  // Theorem 5's probe header: after verifying all pairs, the largest probe
+  // index must stay below the Lemma 3 cover bound.
+  Rng rng(17);
+  const std::size_t n = 96;
+  const Graph g = core::certified_random_graph(n, rng);
+  const schemes::SequentialSearchScheme scheme(g);
+  const auto result = model::verify_scheme(g, scheme);
+  ASSERT_TRUE(result.ok());
+  // Max route = 2·(probes) + 1; probes ≤ (c+3) log n.
+  const double bound = 2.0 * 6.0 * std::log2(static_cast<double>(n)) + 2.0;
+  EXPECT_LE(static_cast<double>(result.max_route_edges), bound);
+}
+
+}  // namespace
+}  // namespace optrt

@@ -1,0 +1,144 @@
+// k-interval routing tests (the paper's reference [1] object): shortest
+// path correctness everywhere, compactness 1 on linear topologies, and
+// linear-in-n interval counts on random graphs — no compression exactly
+// where the paper proves none is possible.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "schemes/errors.hpp"
+#include "schemes/k_interval.hpp"
+
+namespace optrt::schemes {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+class KIntervalFamilies : public ::testing::TestWithParam<int> {
+ public:
+  static Graph make(int which) {
+    switch (which) {
+      case 0:
+        return graph::chain(24);
+      case 1:
+        return graph::ring(25);
+      case 2:
+        return graph::grid(5, 6);
+      case 3:
+        return graph::star(26);
+      case 4:
+        return graph::hypercube(5);
+      case 5:
+        return graph::complete(16);
+      default: {
+        Rng rng(61);
+        return core::certified_random_graph(48, rng);
+      }
+    }
+  }
+};
+
+TEST_P(KIntervalFamilies, ShortestPathOnEveryFamily) {
+  const Graph g = make(GetParam());
+  const KIntervalScheme scheme(g);
+  const auto result = model::verify_scheme(g, scheme);
+  EXPECT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.max_stretch, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, KIntervalFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(KInterval, ChainIsCompactnessOne) {
+  const KIntervalScheme scheme(graph::chain(32));
+  EXPECT_EQ(scheme.compactness(), 1u);
+  // Interior node: 2 ports, 1 interval each; endpoints: 1 port.
+  EXPECT_EQ(scheme.total_intervals(), 2u * 30 + 2);
+}
+
+TEST(KInterval, RingIsCompactnessOne) {
+  // With identity labels a ring splits each node's destinations into two
+  // arcs — each a single cyclic interval.
+  const KIntervalScheme scheme(graph::ring(17));
+  EXPECT_EQ(scheme.compactness(), 1u);
+}
+
+TEST(KInterval, StarIsCompactnessOne) {
+  const KIntervalScheme scheme(graph::star(20));
+  EXPECT_EQ(scheme.compactness(), 1u);
+}
+
+TEST(KInterval, CompleteGraphIsCompactnessOne) {
+  // Every port routes exactly one label.
+  const KIntervalScheme scheme(graph::complete(12));
+  EXPECT_EQ(scheme.compactness(), 1u);
+}
+
+TEST(KInterval, HypercubeSitsBetweenLinearAndRandom) {
+  // With identity labels and least-successor assignment a hypercube needs
+  // ≈ n/2 intervals on its worst port — more than a grid, but each port's
+  // regions are still far coarser than a random graph's shatter.
+  const std::size_t n = 64;
+  const KIntervalScheme scheme(graph::hypercube(6));
+  EXPECT_LE(scheme.compactness(), n / 2);
+  EXPECT_GT(scheme.compactness(), 4u);
+  EXPECT_TRUE(model::verify_scheme(graph::hypercube(6), scheme).ok());
+}
+
+TEST(KInterval, RandomGraphsNeedLinearlyManyIntervals) {
+  // Reference [1]'s phenomenon: on random graphs the per-node interval
+  // count is Θ(n) — interval compression gives no asymptotic savings.
+  Rng rng(62);
+  const std::size_t n = 96;
+  const Graph g = core::certified_random_graph(n, rng);
+  const KIntervalScheme scheme(g);
+  EXPECT_GT(scheme.total_intervals(), n * n / 8);   // ≈ n²/4 runs expected
+  EXPECT_GT(scheme.compactness(), 4u);
+  // Space: with Θ(n) intervals of 2⌈log n⌉ bits per node, the scheme costs
+  // Θ(n² log n) — no better than the full table (Theorem 6's message).
+  EXPECT_GT(scheme.space().total_bits(), n * n);
+}
+
+TEST(KInterval, GrowthIsQuadraticOnRandomGraphs) {
+  double prev = 0;
+  for (std::size_t n : {32u, 64u}) {
+    Rng rng(n);
+    const Graph g = core::certified_random_graph(n, rng);
+    const KIntervalScheme scheme(g);
+    const auto total = static_cast<double>(scheme.total_intervals());
+    if (prev > 0) {
+      EXPECT_GT(total / prev, 3.0);  // doubling n ⇒ ≈ 4× intervals
+      EXPECT_LT(total / prev, 5.0);
+    }
+    prev = total;
+  }
+}
+
+TEST(KInterval, ThrowsOnDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(KIntervalScheme{g}, SchemeInapplicable);
+}
+
+TEST(KInterval, SpaceMatchesSerializedBits) {
+  Rng rng(63);
+  const Graph g = core::certified_random_graph(48, rng);
+  const KIntervalScheme scheme(g);
+  const auto space = scheme.space();
+  for (graph::NodeId u = 0; u < 48; ++u) {
+    EXPECT_EQ(space.function_bits[u], scheme.function_bits(u).size());
+  }
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Graph g = graph::hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // n·d/2 = 16·4/2
+  for (graph::NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(graph::DistanceMatrix(g).diameter(), 4u);
+}
+
+}  // namespace
+}  // namespace optrt::schemes

@@ -1,0 +1,141 @@
+// Permutation-coding tests: Lehmer rank/unrank bijection, the exact
+// ⌈log₂ d!⌉ widths, and the footnote-1 payload channel through a port
+// assignment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "graph/generators.hpp"
+#include "graph/ports.hpp"
+#include "incompressibility/permutation_code.hpp"
+#include "incompressibility/theorem8.hpp"
+
+namespace optrt::incompress {
+namespace {
+
+TEST(PermutationCode, RankIsLexicographic) {
+  // d = 3: 012→0, 021→1, 102→2, 120→3, 201→4, 210→5.
+  EXPECT_EQ(rank_permutation({0, 1, 2}).as_u64(), 0u);
+  EXPECT_EQ(rank_permutation({0, 2, 1}).as_u64(), 1u);
+  EXPECT_EQ(rank_permutation({1, 0, 2}).as_u64(), 2u);
+  EXPECT_EQ(rank_permutation({1, 2, 0}).as_u64(), 3u);
+  EXPECT_EQ(rank_permutation({2, 0, 1}).as_u64(), 4u);
+  EXPECT_EQ(rank_permutation({2, 1, 0}).as_u64(), 5u);
+}
+
+TEST(PermutationCode, ExhaustiveBijectionAtD5) {
+  std::vector<std::uint32_t> perm = {0, 1, 2, 3, 4};
+  std::uint64_t expected = 0;
+  do {
+    const BigUint rank = rank_permutation(perm);
+    ASSERT_TRUE(rank.fits_u64());
+    EXPECT_EQ(rank.as_u64(), expected);
+    EXPECT_EQ(unrank_permutation(5, rank), perm);
+    ++expected;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(expected, 120u);
+}
+
+class PermRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermRoundTrip, RandomPermutationsRoundTrip) {
+  const std::size_t d = GetParam();
+  std::mt19937_64 rng(d);
+  std::vector<std::uint32_t> perm(d);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    EXPECT_EQ(unrank_permutation(d, rank_permutation(perm)), perm);
+    // Stream form at the exact width.
+    bitio::BitWriter w;
+    write_permutation(w, perm);
+    EXPECT_EQ(w.bit_count(), permutation_code_bits(d));
+    bitio::BitReader r(w.bits());
+    EXPECT_EQ(read_permutation(r, d), perm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ds, PermRoundTrip,
+                         ::testing::Values(1, 2, 3, 8, 20, 64, 150));
+
+TEST(PermutationCode, WidthMatchesLog2Factorial) {
+  EXPECT_EQ(permutation_code_bits(0), 0u);
+  EXPECT_EQ(permutation_code_bits(1), 0u);
+  EXPECT_EQ(permutation_code_bits(2), 1u);   // 2! = 2
+  EXPECT_EQ(permutation_code_bits(3), 3u);   // 6 → 3 bits
+  EXPECT_EQ(permutation_code_bits(4), 5u);   // 24 → 5 bits
+  EXPECT_EQ(permutation_code_bits(5), 7u);   // 120 → 7 bits
+  // Against lgamma at scale.
+  const double exact = log2_factorial(200);
+  EXPECT_NEAR(static_cast<double>(permutation_code_bits(200)), exact, 1.5);
+}
+
+TEST(PermutationCode, UnrankRejectsOutOfRange) {
+  BigUint six(6);
+  EXPECT_THROW(unrank_permutation(3, six), std::out_of_range);
+}
+
+// --- Footnote 1: the port assignment as a free channel ------------------------
+
+TEST(Footnote1, PayloadSurvivesTheRoundTrip) {
+  std::mt19937_64 rng(77);
+  for (std::size_t d : {4u, 16u, 50u, 120u}) {
+    const std::size_t capacity = payload_capacity_bits(d);
+    bitio::BitVector payload(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) payload.set(i, rng() & 1u);
+    const auto perm = embed_payload(d, payload);
+    // A genuine permutation of {0..d−1}:
+    std::vector<std::uint32_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < d; ++i) ASSERT_EQ(sorted[i], i);
+    EXPECT_EQ(extract_payload(perm), payload);
+  }
+}
+
+TEST(Footnote1, CapacityIsDLogDish) {
+  // d log d − d log e ≤ ⌊log d!⌋ ≤ d log d.
+  const double d = 64.0;
+  const auto capacity = static_cast<double>(payload_capacity_bits(64));
+  EXPECT_LE(capacity, d * std::log2(d));
+  EXPECT_GE(capacity, d * std::log2(d) - d * 1.4427);
+}
+
+TEST(Footnote1, PortAssignmentCarriesThePayload) {
+  // End to end through the graph layer: embed a payload into node u's port
+  // permutation and read it back from the assignment — the reason the
+  // paper must exclude "free ports + known neighbours".
+  graph::Rng rng(78);
+  const graph::Graph g = graph::random_gnp(40, 0.5, rng);
+  const graph::NodeId u = 0;
+  const std::size_t d = g.degree(u);
+  const std::size_t capacity = payload_capacity_bits(d);
+  bitio::BitVector secret(capacity);
+  std::mt19937_64 srng(79);
+  for (std::size_t i = 0; i < capacity; ++i) secret.set(i, srng() & 1u);
+
+  // Port p ↦ the perm[p]-th least neighbour.
+  const auto code = embed_payload(d, secret);
+  std::vector<std::vector<graph::NodeId>> port_maps(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    port_maps[v].assign(nbrs.begin(), nbrs.end());
+  }
+  const auto nbrs_u = g.neighbors(u);
+  for (std::size_t p = 0; p < d; ++p) port_maps[u][p] = nbrs_u[code[p]];
+  const auto ports = graph::PortAssignment::from_port_maps(g, port_maps);
+
+  // Receiver recovers the permutation (rank of neighbour per port) and the
+  // payload.
+  std::vector<std::uint32_t> recovered(d);
+  for (std::size_t p = 0; p < d; ++p) {
+    const graph::NodeId v = ports.neighbor_at(u, static_cast<graph::PortId>(p));
+    recovered[p] = static_cast<std::uint32_t>(
+        std::lower_bound(nbrs_u.begin(), nbrs_u.end(), v) - nbrs_u.begin());
+  }
+  EXPECT_EQ(extract_payload(recovered), secret);
+}
+
+}  // namespace
+}  // namespace optrt::incompress

@@ -1,0 +1,72 @@
+// Large-scale smoke tests (n = 1024): the Theorem 1 pipeline at the
+// biggest size the benches report, with sampled verification; plus the
+// density-generalized certificate.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "graph/randomness.hpp"
+#include "model/verifier.hpp"
+#include "schemes/compact_diam2.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+TEST(Scale, TheoremOneAtN1024) {
+  Rng rng(2001);
+  const Graph g = core::certified_random_graph(1024, rng);
+  const schemes::CompactDiam2Scheme scheme(g, {});
+  // Size: ≤ 6n per node, Θ(n²) total.
+  const auto space = scheme.space();
+  EXPECT_LE(space.max_node_bits(), 6u * 1024);
+  EXPECT_GT(space.total_bits(), 1024u * 1024 / 8);
+  // Sampled all-pairs behaviour: shortest path on 5000 random pairs.
+  const auto result = model::verify_scheme_sampled(g, scheme, 5000, 3);
+  EXPECT_TRUE(result.all_delivered);
+  EXPECT_DOUBLE_EQ(result.max_stretch, 1.0);
+}
+
+TEST(Scale, CertificateAtN1024) {
+  Rng rng(2002);
+  const Graph g = graph::random_uniform(1024, rng);
+  const auto cert = graph::certify(g);
+  EXPECT_TRUE(cert.ok());
+  // Lemma 1's window is o(n): the measured deviation is ≪ n/4.
+  EXPECT_LT(cert.max_degree_deviation, 1024.0 / 4.0);
+  // Lemma 3: covers stay well under (c+3) log n.
+  EXPECT_LE(cert.max_cover_size, cert.cover_size_bound);
+}
+
+TEST(Scale, DensityGeneralizedCertificate) {
+  const std::size_t n = 256;
+  for (double p : {0.3, 0.5, 0.7}) {
+    std::size_t passes = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Rng rng(seed * 31 + static_cast<std::uint64_t>(p * 100));
+      const Graph g = graph::random_gnp(n, p, rng);
+      if (graph::certify_gnp(g, p).ok()) ++passes;
+    }
+    // At its own density, G(n, p) certifies almost surely at this n.
+    EXPECT_GE(passes, 3u) << "p=" << p;
+  }
+  // And against the wrong density it fails on degrees.
+  Rng rng(2003);
+  const Graph g = graph::random_gnp(n, 0.3, rng);
+  EXPECT_FALSE(graph::certify_gnp(g, 0.7).degrees_concentrated);
+}
+
+TEST(Scale, CertifyIsTheHalfCase) {
+  Rng rng(2004);
+  const Graph g = graph::random_uniform(128, rng);
+  const auto a = graph::certify(g);
+  const auto b = graph::certify_gnp(g, 0.5);
+  EXPECT_EQ(a.ok(), b.ok());
+  EXPECT_DOUBLE_EQ(a.max_degree_deviation, b.max_degree_deviation);
+  EXPECT_EQ(a.cover_size_bound, b.cover_size_bound);
+}
+
+}  // namespace
+}  // namespace optrt

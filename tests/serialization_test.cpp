@@ -1,0 +1,222 @@
+// Scheme-artifact tests: save/load round trips preserve routing behaviour
+// and space accounting, byte/file transport, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "schemes/serialization.hpp"
+
+namespace optrt::schemes {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+void expect_same_routing(const Graph& g, const model::RoutingScheme& a,
+                         const model::RoutingScheme& b) {
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (u == v) continue;
+      model::MessageHeader ha, hb;
+      EXPECT_EQ(a.next_hop(u, a.label_of(v), ha),
+                b.next_hop(u, b.label_of(v), hb));
+    }
+  }
+}
+
+TEST(Serialization, CompactDiam2RoundTrip) {
+  const Graph g = certified(64, 701);
+  const CompactDiam2Scheme original(g, {});
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kCompactDiam2);
+  const CompactDiam2Scheme loaded = deserialize_compact_diam2(artifact, g);
+  EXPECT_EQ(loaded.space().total_bits(), original.space().total_bits());
+  expect_same_routing(g, original, loaded);
+  EXPECT_TRUE(model::verify_scheme(g, loaded).ok());
+}
+
+TEST(Serialization, CompactDiam2RoundTripModelIB) {
+  const Graph g = certified(48, 702);
+  CompactDiam2Scheme::Options opt;
+  opt.neighbors_known = false;
+  const CompactDiam2Scheme original(g, opt);
+  const CompactDiam2Scheme loaded =
+      deserialize_compact_diam2(serialize(original), g);
+  expect_same_routing(g, original, loaded);
+}
+
+TEST(Serialization, FullTableRoundTripWithAdversarialEnvironment) {
+  const Graph g = certified(48, 703);
+  Rng prng(704);
+  std::vector<graph::NodeId> perm(48);
+  for (graph::NodeId i = 0; i < 48; ++i) perm[i] = (i * 5 + 2) % 48;
+  const FullTableScheme original(g, graph::PortAssignment::random(g, prng),
+                                 graph::Labeling::permutation(perm),
+                                 model::kIAbeta);
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kFullTable);
+  const FullTableScheme loaded = deserialize_full_table(artifact, g);
+  EXPECT_EQ(loaded.routing_model(), model::kIAbeta);
+  EXPECT_EQ(loaded.space().total_bits(), original.space().total_bits());
+  expect_same_routing(g, original, loaded);
+  EXPECT_TRUE(model::verify_scheme(g, loaded).ok());
+}
+
+TEST(Serialization, HubRoundTrip) {
+  const Graph g = certified(64, 709);
+  const HubScheme original(g);
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kHub);
+  const HubScheme loaded = deserialize_hub(artifact, g);
+  EXPECT_EQ(loaded.hub(), original.hub());
+  EXPECT_EQ(loaded.rank_width(), original.rank_width());
+  EXPECT_EQ(loaded.space().total_bits(), original.space().total_bits());
+  expect_same_routing(g, original, loaded);
+  const auto result = model::verify_scheme(g, loaded);
+  EXPECT_TRUE(result.ok());
+  EXPECT_LE(result.max_stretch, 2.0);
+}
+
+TEST(Serialization, RoutingCenterRoundTrip) {
+  const Graph g = certified(64, 710);
+  const RoutingCenterScheme original(g);
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kRoutingCenter);
+  const RoutingCenterScheme loaded = deserialize_routing_center(artifact, g);
+  EXPECT_EQ(loaded.centers(), original.centers());
+  expect_same_routing(g, original, loaded);
+  const auto result = model::verify_scheme(g, loaded);
+  EXPECT_TRUE(result.ok());
+  EXPECT_LE(result.max_stretch, 1.5);
+}
+
+TEST(Serialization, LandmarkRoundTrip) {
+  const Graph g = certified(64, 712);
+  const LandmarkScheme original(g);
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kLandmark);
+  const LandmarkScheme loaded = deserialize_landmark(artifact, g);
+  EXPECT_EQ(loaded.landmarks(), original.landmarks());
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(loaded.landmark_of(v), original.landmark_of(v));
+  }
+  expect_same_routing(g, original, loaded);
+  const auto result = model::verify_scheme(g, loaded);
+  EXPECT_TRUE(result.ok());
+  EXPECT_LE(result.max_stretch, 3.0);
+}
+
+TEST(Serialization, LandmarkRoundTripOnSparseGraph) {
+  const Graph g = graph::grid(6, 8);
+  const LandmarkScheme original(g);
+  const LandmarkScheme loaded = deserialize_landmark(serialize(original), g);
+  expect_same_routing(g, original, loaded);
+}
+
+TEST(Serialization, HierarchicalRoundTrip) {
+  const Graph g = graph::grid(8, 8);
+  HierarchicalOptions opt;
+  opt.levels = 3;
+  const HierarchicalScheme original(g, opt);
+  const bitio::BitVector artifact = serialize(original);
+  EXPECT_EQ(peek_kind(artifact), SchemeKind::kHierarchical);
+  const HierarchicalScheme loaded = deserialize_hierarchical(artifact, g);
+  EXPECT_EQ(loaded.levels(), original.levels());
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(loaded.pivots(i), original.pivots(i));
+    for (graph::NodeId v = 0; v < 64; ++v) {
+      EXPECT_EQ(loaded.pivot_of(i, v), original.pivot_of(i, v));
+    }
+  }
+  EXPECT_TRUE(model::verify_scheme(g, loaded).ok());
+  // Hierarchical routing is stateful (header waypoints), so compare
+  // end-to-end routes rather than per-call hops.
+  for (graph::NodeId u = 0; u < 64; u += 7) {
+    for (graph::NodeId v = 0; v < 64; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(model::route_once(g, original, u, v, 0),
+                model::route_once(g, loaded, u, v, 0));
+    }
+  }
+}
+
+TEST(Serialization, StretchLadderArtifactsAreDistinguishable) {
+  const Graph g = certified(48, 711);
+  EXPECT_EQ(peek_kind(serialize(CompactDiam2Scheme(g, {}))),
+            SchemeKind::kCompactDiam2);
+  EXPECT_EQ(peek_kind(serialize(RoutingCenterScheme(g))),
+            SchemeKind::kRoutingCenter);
+  EXPECT_EQ(peek_kind(serialize(HubScheme(g))), SchemeKind::kHub);
+  // And cross-deserialization is rejected.
+  EXPECT_THROW((void)deserialize_hub(serialize(RoutingCenterScheme(g)), g),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)deserialize_routing_center(serialize(HubScheme(g)), g),
+      std::invalid_argument);
+}
+
+TEST(Serialization, KindMismatchRejected) {
+  const Graph g = certified(32, 705);
+  const auto compact_artifact = serialize(CompactDiam2Scheme(g, {}));
+  EXPECT_THROW((void)deserialize_full_table(compact_artifact, g),
+               std::invalid_argument);
+  const auto table_artifact = serialize(FullTableScheme::standard(g));
+  EXPECT_THROW((void)deserialize_compact_diam2(table_artifact, g),
+               std::invalid_argument);
+}
+
+TEST(Serialization, WrongGraphRejected) {
+  const Graph g = certified(32, 706);
+  const Graph other = certified(48, 707);
+  const auto artifact = serialize(CompactDiam2Scheme(g, {}));
+  EXPECT_THROW((void)deserialize_compact_diam2(artifact, other),
+               std::invalid_argument);
+}
+
+TEST(Serialization, BadMagicRejected) {
+  bitio::BitVector junk(128);
+  EXPECT_THROW((void)peek_kind(junk), std::invalid_argument);
+}
+
+TEST(Serialization, BytesRoundTrip) {
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u}) {
+    Rng rng(len + 1);
+    bitio::BitVector bits;
+    for (std::size_t i = 0; i < len; ++i) bits.push_back(rng() & 1u);
+    EXPECT_EQ(from_bytes(to_bytes(bits)), bits) << "len=" << len;
+  }
+}
+
+TEST(Serialization, BytesRejectTruncation) {
+  bitio::BitVector bits(100);
+  auto bytes = to_bytes(bits);
+  bytes.pop_back();
+  EXPECT_THROW((void)from_bytes(bytes), std::invalid_argument);
+  EXPECT_THROW((void)from_bytes({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const Graph g = certified(32, 708);
+  const auto artifact = serialize(CompactDiam2Scheme(g, {}));
+  const std::string path = "/tmp/optrt_serialization_test.ort";
+  save_artifact(path, artifact);
+  EXPECT_EQ(load_artifact(path), artifact);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  EXPECT_THROW((void)load_artifact("/nonexistent/definitely/missing.ort"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace optrt::schemes

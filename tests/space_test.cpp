@@ -1,0 +1,173 @@
+// Space-accounting tests: every scheme's measured bits against the exact
+// bounds the theorems state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bitio/codes.hpp"
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "incompressibility/bounds.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/full_information.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/interval.hpp"
+#include "schemes/neighbor_label.hpp"
+#include "schemes/routing_center.hpp"
+#include "schemes/sequential_search.hpp"
+
+namespace optrt::schemes {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+class SpaceBounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpaceBounds, Theorem1SixNPerNode) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 101);
+  const CompactDiam2Scheme scheme(g, {});
+  const auto space = scheme.space();
+  EXPECT_EQ(space.label_bits, 0u);
+  EXPECT_EQ(space.function_bits.size(), n);
+  EXPECT_LE(space.max_node_bits(), 6 * n);
+  EXPECT_LE(space.total_bits(), 6 * n * n);
+}
+
+TEST_P(SpaceBounds, Theorem1SevenNPerNodeUnderIB) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 102);
+  CompactDiam2Scheme::Options opt;
+  opt.neighbors_known = false;
+  const CompactDiam2Scheme scheme(g, opt);
+  EXPECT_LE(scheme.space().max_node_bits(), 7 * n);
+}
+
+TEST_P(SpaceBounds, Theorem2LabelsDominate) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 103);
+  const NeighborLabelScheme scheme(g);
+  const auto space = scheme.space();
+  // Local routing functions are O(1): zero stored bits here.
+  EXPECT_EQ(space.total_function_bits(), 0u);
+  // Labels: at most (1 + (c+3) log n)·log n bits per node with c = 3.
+  const double log_n = std::log2(static_cast<double>(n));
+  const double per_node_bound = (1.0 + 6.0 * log_n) * log_n + 2.0 * log_n;
+  EXPECT_LE(static_cast<double>(space.label_bits),
+            static_cast<double>(n) * per_node_bound);
+  EXPECT_GT(space.label_bits, 0u);
+  // Total stays within the Theorem 2 headline bound.
+  EXPECT_LE(static_cast<double>(space.total_bits()),
+            incompress::theorem2_total_bound(n) + 4.0 * n * log_n);
+}
+
+TEST_P(SpaceBounds, Theorem3TotalNLogN) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 104);
+  const RoutingCenterScheme scheme(g);
+  const auto space = scheme.space();
+  // (6c+20)·n·log n with c = 3 → 38 n log n; our constant is far smaller.
+  EXPECT_LE(static_cast<double>(space.total_bits()),
+            incompress::theorem3_total_bound(n));
+  // Non-center nodes store only ⌈log n⌉ bits.
+  std::size_t big_nodes = 0;
+  for (std::size_t bits : space.function_bits) {
+    if (bits > bitio::ceil_log2(n)) ++big_nodes;
+  }
+  EXPECT_EQ(big_nodes, scheme.centers().size());
+  EXPECT_LE(big_nodes,
+            1 + static_cast<std::size_t>(
+                    std::ceil(6.0 * std::log2(static_cast<double>(n)))));
+}
+
+TEST_P(SpaceBounds, Theorem4HubPlusLogLog) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 105);
+  const HubScheme scheme(g);
+  const auto space = scheme.space();
+  // Hub: ≤ 6n. Everyone else: ≤ rank_width = loglog n + O(1) bits.
+  EXPECT_LE(space.function_bits[scheme.hub()], 6 * n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (u == scheme.hub()) continue;
+    EXPECT_LE(space.function_bits[u], scheme.rank_width());
+  }
+  const double bound = incompress::theorem4_total_bound(n);
+  // Allow the +O(1)-per-node discretisation of ⌈log₂⌈6 log₂ n⌉⌉.
+  EXPECT_LE(static_cast<double>(space.total_bits()), bound + 3.0 * n);
+}
+
+TEST_P(SpaceBounds, Theorem5ConstantBits) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 106);
+  const SequentialSearchScheme scheme(g);
+  EXPECT_EQ(scheme.space().total_bits(), 0u);
+}
+
+TEST_P(SpaceBounds, FullTableIsNCeilLogDPerNode) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 107);
+  const FullTableScheme scheme = FullTableScheme::standard(g);
+  const auto space = scheme.space();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(space.function_bits[u], n * bitio::ceil_log2(g.degree(u)));
+  }
+}
+
+TEST_P(SpaceBounds, FullInformationIsNTimesDegreePerNode) {
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 108);
+  const FullInformationScheme scheme = FullInformationScheme::standard(g);
+  const auto space = scheme.space();
+  std::size_t expected_total = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(space.function_bits[u], n * g.degree(u));
+    expected_total += n * g.degree(u);
+  }
+  EXPECT_EQ(space.total_bits(), expected_total);
+  // Θ(n³): 2·n·|E| ≈ n³/2 ≤ n³ (Theorem 10's trivial upper bound).
+  EXPECT_LE(static_cast<double>(space.total_bits()),
+            incompress::trivial_full_information_bound(n));
+}
+
+TEST_P(SpaceBounds, StretchSpaceTradeOffIsMonotone) {
+  // Theorems 1 → 3 → 4 → 5: strictly decreasing space.
+  const std::size_t n = GetParam();
+  const Graph g = certified(n, 109);
+  const auto t1 = CompactDiam2Scheme(g, {}).space().total_bits();
+  const auto t3 = RoutingCenterScheme(g).space().total_bits();
+  const auto t4 = HubScheme(g).space().total_bits();
+  const auto t5 = SequentialSearchScheme(g).space().total_bits();
+  EXPECT_GT(t1, t3);
+  EXPECT_GT(t3, t4);
+  EXPECT_GT(t4, t5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpaceBounds,
+                         ::testing::Values(64, 128, 256));
+
+TEST(Space, ReportArithmetic) {
+  model::SpaceReport report;
+  report.function_bits = {10, 20, 30};
+  report.label_bits = 5;
+  EXPECT_EQ(report.total_function_bits(), 60u);
+  EXPECT_EQ(report.total_bits(), 65u);
+  EXPECT_EQ(report.max_node_bits(), 30u);
+}
+
+TEST(Space, IntervalTreeIsNearLinear) {
+  const Graph g = certified(128, 110);
+  const IntervalRoutingScheme scheme(g);
+  // Tree edges only: ≈ 3·(n−1)·log n + n·(log n + count) bits total.
+  const double bound = 8.0 * 128.0 * std::log2(128.0);
+  EXPECT_LE(static_cast<double>(scheme.space().total_bits()), bound);
+}
+
+}  // namespace
+}  // namespace optrt::schemes

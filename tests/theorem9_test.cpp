@@ -1,0 +1,130 @@
+// Theorem 9 tests: permutation recovery from routing functions on the
+// Figure 1 graph G_B, and the k! counting consequence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "incompressibility/theorem8.hpp"
+#include "incompressibility/theorem9.hpp"
+#include "model/verifier.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::incompress {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+std::vector<NodeId> random_perm(std::size_t k, Rng& rng) {
+  std::vector<NodeId> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+class Theorem9Recovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem9Recovery, ShortestPathSchemeRevealsThePlantedPermutation) {
+  const std::size_t k = GetParam();
+  Rng rng(k);
+  const auto perm = random_perm(k, rng);
+  const Graph g = graph::lower_bound_gb_permuted(k, perm);
+  // Any stretch-<2 scheme works; the full table is shortest path.
+  const schemes::FullTableScheme scheme = schemes::FullTableScheme::standard(g);
+  ASSERT_TRUE(model::verify_scheme(g, scheme).ok());
+  for (NodeId b : {NodeId{0}, static_cast<NodeId>(k - 1)}) {
+    EXPECT_EQ(recover_top_permutation(scheme, k, b), perm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, Theorem9Recovery,
+                         ::testing::Values(3, 5, 8, 16, 32, 64));
+
+TEST(Theorem9, DistinctPermutationsGiveDistinctRoutingFunctions) {
+  // The injection at the heart of the counting argument: the bottom-node
+  // routing functions must differ whenever the labelling differs.
+  const std::size_t k = 6;
+  Rng rng(99);
+  const auto p1 = random_perm(k, rng);
+  auto p2 = p1;
+  std::swap(p2[0], p2[1]);
+  const schemes::FullTableScheme s1 =
+      schemes::FullTableScheme::standard(graph::lower_bound_gb_permuted(k, p1));
+  const schemes::FullTableScheme s2 =
+      schemes::FullTableScheme::standard(graph::lower_bound_gb_permuted(k, p2));
+  bool differs = false;
+  for (NodeId b = 0; b < k && !differs; ++b) {
+    differs = !(s1.function_bits(b) == s2.function_bits(b));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Theorem9, BottomNodeTablesExceedLogKFactorial) {
+  // Counting: each bottom node's function distinguishes k! labellings, so
+  // any representation needs ≥ log₂ k! bits; our tables satisfy that.
+  for (std::size_t k : {8u, 32u, 64u}) {
+    Rng rng(k * 3);
+    const auto perm = random_perm(k, rng);
+    const Graph g = graph::lower_bound_gb_permuted(k, perm);
+    const schemes::FullTableScheme scheme =
+        schemes::FullTableScheme::standard(g);
+    const auto space = scheme.space();
+    for (NodeId b = 0; b < k; ++b) {
+      EXPECT_GE(static_cast<double>(space.function_bits[b]),
+                log2_factorial(k));
+    }
+  }
+}
+
+TEST(Theorem9, RecoveryRejectsHighStretchAnswers) {
+  // A scheme that routes bottom → top via another bottom node violates the
+  // stretch-<2 premise; the recovery must detect it.
+  const std::size_t k = 4;
+  const Graph g = graph::lower_bound_gb(k);
+
+  class ViaMiddleWrong final : public model::RoutingScheme {
+   public:
+    explicit ViaMiddleWrong(const Graph& g) : g_(&g) {}
+    [[nodiscard]] std::string name() const override { return "wrong"; }
+    [[nodiscard]] model::Model routing_model() const override {
+      return model::kIIalpha;
+    }
+    [[nodiscard]] std::size_t node_count() const override {
+      return g_->node_count();
+    }
+    [[nodiscard]] NodeId next_hop(NodeId u, NodeId,
+                                  model::MessageHeader&) const override {
+      return g_->neighbors(u)[0];  // bottom nodes answer a middle node —
+                                   // but always the same one
+    }
+    [[nodiscard]] model::SpaceReport space() const override { return {}; }
+
+   private:
+    const Graph* g_;
+  };
+
+  const ViaMiddleWrong wrong(g);
+  EXPECT_THROW((void)recover_top_permutation(wrong, k, 0), std::logic_error);
+}
+
+TEST(Theorem9, GBPairDistancesMatchTheProof) {
+  // d(bottom, top) = 2 via the partner; removing the partner edge makes the
+  // best alternative 4 — the stretch-2 threshold the theorem exploits.
+  const std::size_t k = 6;
+  Rng rng(7);
+  const auto perm = random_perm(k, rng);
+  Graph g = graph::lower_bound_gb_permuted(k, perm);
+  const graph::DistanceMatrix dist(g);
+  for (NodeId b = 0; b < k; ++b) {
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(dist.at(b, static_cast<NodeId>(2 * k + j)), 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optrt::incompress

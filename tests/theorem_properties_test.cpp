@@ -1,0 +1,143 @@
+// Sharp theorem-level properties beyond "stretch bounded": the exact route
+// structures the constructions promise.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/neighbor_label.hpp"
+#include "schemes/routing_center.hpp"
+#include "schemes/sequential_search.hpp"
+
+namespace optrt::schemes {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+TEST(SharpProperties, CompactRoutesViaTheLeastIntermediary) {
+  // Theorem 1's first table stores "the unary representation of the LEAST
+  // intermediate node": the hop must be the least center covering the
+  // destination under the least-neighbour order — i.e. the least
+  // neighbour of u adjacent to w among the cover prefix.
+  const Graph g = certified(64, 3001);
+  const CompactDiam2Scheme scheme(g, {});
+  for (graph::NodeId u = 0; u < 16; ++u) {
+    const graph::NeighborCover cover = graph::least_neighbor_cover(g, u);
+    for (graph::NodeId w = 0; w < 64; ++w) {
+      if (w == u || g.has_edge(u, w)) continue;
+      model::MessageHeader h;
+      const graph::NodeId hop = scheme.next_hop(u, w, h);
+      EXPECT_EQ(hop, cover.centers[cover.coverer[w]]);
+    }
+  }
+}
+
+TEST(SharpProperties, RoutingCenterStretchValuesAreOnlyOneOrOneAndAHalf) {
+  // On diameter-2 graphs a stretch-<2 scheme can only realize 1 or 1.5
+  // (footnote 5).
+  const Graph g = certified(96, 3002);
+  const RoutingCenterScheme scheme(g);
+  const graph::DistanceMatrix dist(g);
+  std::set<double> observed;
+  for (graph::NodeId u = 0; u < 96; ++u) {
+    for (graph::NodeId v = 0; v < 96; ++v) {
+      if (u == v) continue;
+      const std::size_t edges = model::route_once(g, scheme, u, v, 0);
+      ASSERT_GT(edges, 0u);
+      observed.insert(static_cast<double>(edges) / dist.at(u, v));
+    }
+  }
+  for (double s : observed) {
+    EXPECT_TRUE(s == 1.0 || s == 1.5) << s;
+  }
+}
+
+TEST(SharpProperties, HubRouteShapes) {
+  // Theorem 4's routes: direct (1 edge), or ≤ 2 to the hub's side plus ≤ 2
+  // down — length ∈ {1, 2, 3, 4} with stretch ≤ 2.
+  const Graph g = certified(96, 3003);
+  const HubScheme scheme(g);
+  const graph::DistanceMatrix dist(g);
+  for (graph::NodeId u = 0; u < 96; ++u) {
+    for (graph::NodeId v = 0; v < 96; ++v) {
+      if (u == v) continue;
+      const std::size_t edges = model::route_once(g, scheme, u, v, 0);
+      ASSERT_GE(edges, dist.at(u, v));
+      ASSERT_LE(edges, 4u);
+      ASSERT_LE(edges, 2u * dist.at(u, v));
+    }
+  }
+}
+
+TEST(SharpProperties, SequentialSearchProbesAscendLeastNeighbors) {
+  // Theorem 5: the walk visits v₁, v₂, … in increasing least-neighbour
+  // order until one is adjacent to the destination.
+  const Graph g = certified(64, 3004);
+  const SequentialSearchScheme scheme(g);
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    for (graph::NodeId w = 0; w < 64; ++w) {
+      if (w == u || g.has_edge(u, w)) continue;
+      // Predict the probe count: first neighbour index adjacent to w.
+      const auto nbrs = g.neighbors(u);
+      std::size_t first = nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (g.has_edge(nbrs[i], w)) {
+          first = i;
+          break;
+        }
+      }
+      ASSERT_LT(first, nbrs.size());
+      // Each failed probe costs 2 edges; the successful one costs 2.
+      const std::size_t edges = model::route_once(g, scheme, u, w, 0);
+      EXPECT_EQ(edges, 2 * first + 2);
+    }
+  }
+}
+
+TEST(SharpProperties, NeighborLabelSecondHopIsAlwaysFinal) {
+  // Theorem 2's routes have length ≤ 2: direct, or via a cover member of
+  // the destination.
+  const Graph g = certified(64, 3005);
+  const NeighborLabelScheme scheme(g);
+  for (graph::NodeId u = 0; u < 64; ++u) {
+    for (graph::NodeId v = 0; v < 64; ++v) {
+      if (u == v) continue;
+      EXPECT_LE(model::route_once(g, scheme, u, v, 0), 2u);
+    }
+  }
+}
+
+TEST(SharpProperties, RoutingCenterNonCentersAlwaysDeferToTheirCenter) {
+  const Graph g = certified(64, 3006);
+  const RoutingCenterScheme scheme(g);
+  std::set<graph::NodeId> centers(scheme.centers().begin(),
+                                  scheme.centers().end());
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    if (centers.contains(v)) continue;
+    // For any non-adjacent destination, v's hop is one fixed center.
+    graph::NodeId fixed = static_cast<graph::NodeId>(-1);
+    for (graph::NodeId w = 0; w < 64; ++w) {
+      if (w == v || g.has_edge(v, w)) continue;
+      model::MessageHeader h;
+      const graph::NodeId hop = scheme.next_hop(v, w, h);
+      EXPECT_TRUE(centers.contains(hop));
+      if (fixed == static_cast<graph::NodeId>(-1)) fixed = hop;
+      EXPECT_EQ(hop, fixed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optrt::schemes

@@ -1,0 +1,121 @@
+// Verifier tests: the §1 route/stretch semantics, including detection of
+// misbehaving schemes.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::model {
+namespace {
+
+using graph::Graph;
+
+/// A deliberately broken scheme for negative tests.
+class MisbehavingScheme final : public RoutingScheme {
+ public:
+  enum class Mode { kNonNeighborHop, kLoopForever, kDetour };
+
+  MisbehavingScheme(const Graph& g, Mode mode) : g_(&g), mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override { return "misbehaving"; }
+  [[nodiscard]] Model routing_model() const override { return kIIalpha; }
+  [[nodiscard]] std::size_t node_count() const override {
+    return g_->node_count();
+  }
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest,
+                                MessageHeader&) const override {
+    switch (mode_) {
+      case Mode::kNonNeighborHop:
+        return dest;  // teleport attempt: usually not an incident edge
+      case Mode::kLoopForever:
+        return g_->neighbors(u)[0];  // ping-pong on a chain
+      case Mode::kDetour: {
+        // Correct but wasteful: route to the highest neighbour unless the
+        // destination is adjacent.
+        if (g_->has_edge(u, dest)) return dest;
+        const auto nbrs = g_->neighbors(u);
+        return nbrs[nbrs.size() - 1];
+      }
+    }
+    return 0;
+  }
+  [[nodiscard]] SpaceReport space() const override {
+    SpaceReport r;
+    r.function_bits.assign(g_->node_count(), 0);
+    return r;
+  }
+
+ private:
+  const Graph* g_;
+  Mode mode_;
+};
+
+TEST(Verifier, DetectsInvalidHops) {
+  const Graph g = graph::chain(6);
+  const MisbehavingScheme scheme(g, MisbehavingScheme::Mode::kNonNeighborHop);
+  const auto result = verify_scheme(g, scheme);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GT(result.invalid_hops, 0u);
+}
+
+TEST(Verifier, DetectsNonTermination) {
+  const Graph g = graph::chain(6);
+  const MisbehavingScheme scheme(g, MisbehavingScheme::Mode::kLoopForever);
+  const auto result = verify_scheme(g, scheme);
+  EXPECT_FALSE(result.all_delivered);
+  EXPECT_GT(result.pairs_failed, 0u);
+  EXPECT_EQ(result.invalid_hops, 0u);  // hops are valid edges, just circular
+}
+
+TEST(Verifier, MeasuresStretchOfDetours) {
+  graph::Rng rng(3);
+  const Graph g = graph::random_uniform(32, rng);
+  const MisbehavingScheme scheme(g, MisbehavingScheme::Mode::kDetour);
+  const auto result = verify_scheme(g, scheme);
+  if (result.all_delivered) {
+    EXPECT_GE(result.max_stretch, 1.0);
+  }
+  // Either way the correct baseline is strictly better.
+  const auto baseline =
+      verify_scheme(g, schemes::FullTableScheme::standard(g));
+  EXPECT_TRUE(baseline.ok());
+  EXPECT_DOUBLE_EQ(baseline.max_stretch, 1.0);
+}
+
+TEST(Verifier, CountsPairsAndEdges) {
+  const Graph g = graph::complete(5);
+  const auto result =
+      verify_scheme(g, schemes::FullTableScheme::standard(g));
+  EXPECT_EQ(result.pairs_checked, 20u);  // 5·4 ordered pairs
+  EXPECT_EQ(result.total_route_edges, 20u);  // all at distance 1
+  EXPECT_EQ(result.max_route_edges, 1u);
+  EXPECT_DOUBLE_EQ(result.mean_stretch, 1.0);
+}
+
+TEST(Verifier, SkipsDisconnectedPairs) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto result =
+      verify_scheme(g, schemes::FullTableScheme::standard(g));
+  EXPECT_TRUE(result.ok());  // only intra-component pairs verified
+  EXPECT_EQ(result.pairs_checked, 12u);
+}
+
+TEST(Verifier, RouteOnceReturnsEdgeCount) {
+  const Graph g = graph::chain(7);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  EXPECT_EQ(route_once(g, scheme, 0, 6, 0), 6u);
+  EXPECT_EQ(route_once(g, scheme, 2, 3, 0), 1u);
+}
+
+TEST(Verifier, HeaderBitsInFlightAccounting) {
+  MessageHeader h;
+  EXPECT_EQ(h.bits_in_flight(), 2u);
+  h.probe_index = 5;
+  EXPECT_EQ(h.bits_in_flight(), 5u);  // 2 + bit_width(5)=3
+}
+
+}  // namespace
+}  // namespace optrt::model
