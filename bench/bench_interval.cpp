@@ -7,7 +7,8 @@
 
 #include "core/optrt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  optrt::core::apply_threads_flag(argc, argv);
   using namespace optrt;
 
   std::cout << "== Reference [1]: interval routing compactness ==\n\n";

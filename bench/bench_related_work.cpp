@@ -12,7 +12,8 @@
 
 #include "core/optrt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  optrt::core::apply_threads_flag(argc, argv);
   using namespace optrt;
 
   std::cout << "== §1.2 related work: landmark (stretch<3) vs this paper "

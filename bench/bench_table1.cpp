@@ -7,6 +7,7 @@
 //   IB (free ports):   O(n²)          compact-diam2 + embedded adjacency
 //   II (neighbours):   O(n²)          compact-diam2          (Theorem 1)
 //   II∧γ:              O(n log² n)    neighbor-label         (Theorem 2)
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -29,11 +30,19 @@ double bound_gamma(std::size_t n) {
   return incompress::theorem2_total_bound(n);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = core::apply_threads_flag(argc, argv);
   const std::vector<std::size_t> ns = {64, 128, 256};
   const std::size_t seeds = 3;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   std::cout << "== Table 1 (average case, upper bounds): measured total bits "
                "==\n\n";
@@ -81,5 +90,33 @@ int main() {
       << "\nShape check: IA rows fit ≈ n^2·log n (exponent ≈ 2.1–2.3); IB/II "
          "rows fit ≈ n^2;\nII.gamma fits ≈ n^1.2–1.4 (n log² n). Every "
          "measurement sits below its paper bound.\n";
+  const double wall_seconds = seconds_since(wall_start);
+
+  // Calibration sweep (II.alpha, the n² workhorse) at 1 thread vs the
+  // configured count, with the distance cache cleared before each run so
+  // both pay the same BFS cost. The sweep's per-point seeding makes the two
+  // runs compile identical graphs — the ratio is pure scheduling speedup.
+  auto calibration = [&](std::size_t t) {
+    graph::DistanceCache::global().clear();
+    const auto start = std::chrono::steady_clock::now();
+    const auto points = core::sweep_certified(
+        ns, seeds,
+        [](const graph::Graph& g) {
+          const auto scheme = schemes::compile(g, model::kIIalpha);
+          return static_cast<double>(
+              model::verify_scheme(g, *scheme, 0, 1).max_route_edges);
+        },
+        core::SweepOptions{.base_seed = 7, .threads = t});
+    (void)points;
+    return seconds_since(start);
+  };
+  const double serial_seconds = calibration(1);
+  const double parallel_seconds = calibration(threads);
+
+  std::cout << "\n{\"bench\":\"bench_table1\",\"threads\":" << threads
+            << ",\"wall_seconds\":" << wall_seconds
+            << ",\"calibration\":{\"serial_seconds\":" << serial_seconds
+            << ",\"parallel_seconds\":" << parallel_seconds
+            << ",\"speedup\":" << serial_seconds / parallel_seconds << "}}\n";
   return 0;
 }

@@ -8,7 +8,8 @@
 
 #include "core/optrt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  optrt::core::apply_threads_flag(argc, argv);
   using namespace optrt;
   const std::vector<std::size_t> ns = {64, 128, 256, 512};
 

@@ -35,7 +35,9 @@ using namespace optrt;
       "  optrt_cli verify G.eg S.ort\n"
       "  optrt_cli sizes G.eg\n"
       "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
-      "hypercube:<d> gb:<k>\n";
+      "hypercube:<d> gb:<k>\n"
+      "global: --threads N (worker threads for verify/sizes; default "
+      "$OPTRT_THREADS or hardware)\n";
   std::exit(2);
 }
 
@@ -237,7 +239,7 @@ int cmd_route(const Args& args) {
   std::size_t hops = 0;
   std::cout << at;
   while (at != dst) {
-    if (hops > 4 * g.node_count()) {
+    if (hops > model::default_hop_budget(g.node_count())) {
       std::cout << " ... (no progress, giving up)\n";
       return 1;
     }
@@ -282,6 +284,7 @@ int cmd_sizes(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  core::apply_threads_flag(argc, argv);  // accepted anywhere on the line
   if (argc < 2) usage();
   const std::string command = argv[1];
   const Args args = parse(argc, argv);

@@ -18,16 +18,19 @@ graph::Graph certified_random_graph(std::size_t n, graph::Rng& rng, double c,
 
 std::vector<SweepPoint> sweep_certified(
     const std::vector<std::size_t>& ns, std::size_t seeds,
-    const std::function<double(const graph::Graph&)>& measure) {
-  std::vector<SweepPoint> points;
-  for (std::size_t n : ns) {
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      graph::Rng rng(seed * 1000003 + n);
-      const graph::Graph g = certified_random_graph(n, rng);
-      points.push_back(SweepPoint{n, seed, measure(g)});
-    }
-  }
-  return points;
+    const std::function<double(const graph::Graph&)>& measure,
+    const SweepOptions& opt) {
+  // Flatten the (n, seed) grid so the pool balances across both axes; the
+  // result lands at its grid index, so ordering never depends on threads.
+  const std::size_t total = ns.size() * seeds;
+  ThreadPool pool(opt.threads);
+  return parallel_map<SweepPoint>(pool, total, [&](std::size_t idx) {
+    const std::size_t n = ns[idx / seeds];
+    const std::uint64_t seed = idx % seeds + 1;
+    graph::Rng rng(point_seed(opt.base_seed, n, seed));
+    const graph::Graph g = certified_random_graph(n, rng);
+    return SweepPoint{n, seed, measure(g)};
+  });
 }
 
 double mean_at(const std::vector<SweepPoint>& points, std::size_t n) {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "graph/generators.hpp"
 #include "graph/randomness.hpp"
 
@@ -27,10 +28,24 @@ struct SweepPoint {
   double value = 0.0;
 };
 
-/// Runs `measure(graph)` over certified graphs for each n and seed.
+struct SweepOptions {
+  /// Base key for per-point RNG seeding; point (n, i) draws from an RNG
+  /// seeded with point_seed(base_seed, n, i).
+  std::uint64_t base_seed = 0;
+  /// Worker threads (0 = core::default_threads()).
+  std::size_t threads = 0;
+};
+
+/// Runs `measure(graph)` over certified graphs for each n and seed index
+/// 1..seeds. Points are measured concurrently on `opt.threads` workers;
+/// because every point draws from its own independently seeded RNG and
+/// results are collected in (n, seed) order, the returned vector is
+/// bit-identical for every thread count. `measure` must be safe to call
+/// concurrently.
 [[nodiscard]] std::vector<SweepPoint> sweep_certified(
     const std::vector<std::size_t>& ns, std::size_t seeds,
-    const std::function<double(const graph::Graph&)>& measure);
+    const std::function<double(const graph::Graph&)>& measure,
+    const SweepOptions& opt = {});
 
 /// Mean of the sweep values for one n.
 [[nodiscard]] double mean_at(const std::vector<SweepPoint>& points,

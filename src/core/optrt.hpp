@@ -20,6 +20,7 @@
 #include "bitio/codes.hpp"
 #include "bitio/entropy.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "graph/algorithms.hpp"

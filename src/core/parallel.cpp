@@ -1,0 +1,142 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace optrt::core {
+
+namespace {
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = auto-detect
+
+std::size_t detect_threads() {
+  if (const char* env = std::getenv("OPTRT_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  return hardware_threads();
+}
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t default_threads() {
+  const std::size_t forced = g_default_threads.load(std::memory_order_relaxed);
+  return forced != 0 ? forced : detect_threads();
+}
+
+void set_default_threads(std::size_t threads) {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t apply_threads_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::size_t value = 0;
+    int consumed = 0;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = std::strtoul(argv[i + 1], nullptr, 10);
+      consumed = 2;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = std::strtoul(argv[i] + 10, nullptr, 10);
+      consumed = 1;
+    }
+    if (consumed == 0) continue;
+    if (value > 0) set_default_threads(value);
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    break;
+  }
+  return default_threads();
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::run_current_job() {
+  while (true) {
+    const std::size_t begin =
+        job_.cursor.fetch_add(job_.chunk, std::memory_order_relaxed);
+    if (begin >= job_.count) return;
+    const std::size_t end = std::min(begin + job_.chunk, job_.count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_.error) return;  // drain without running after a failure
+    }
+    try {
+      (*job_.fn)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_.error) job_.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_current_job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_busy_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (count == 0) return;
+  // ~4 chunks per thread amortizes the queue while smoothing imbalance
+  // from uneven per-index cost (e.g. rejection sampling in sweeps).
+  const std::size_t parts = std::max<std::size_t>(thread_count() * 4, 1);
+  job_.fn = &chunk_fn;
+  job_.count = count;
+  job_.chunk = std::max<std::size_t>((count + parts - 1) / parts, 1);
+  job_.cursor.store(0, std::memory_order_relaxed);
+  job_.error = nullptr;
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      workers_busy_ = workers_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  }
+  run_current_job();
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+  }
+  job_.fn = nullptr;
+  if (job_.error) std::rethrow_exception(job_.error);
+}
+
+}  // namespace optrt::core

@@ -1,0 +1,129 @@
+// Deterministic parallel execution engine for the experiment harness.
+//
+// A small work-stealing-free thread pool: one shared chunked index queue
+// (an atomic cursor over [0, count)), N persistent workers plus the
+// calling thread, no per-task allocation. Parallel results are always
+// stored by index, and every reducer in the library merges partial
+// results in index order, so sweeps and verifications are bit-identical
+// regardless of the thread count — the determinism contract the tests in
+// tests/parallel_test.cpp enforce.
+//
+// Thread-count policy: an explicit count wins; otherwise the process-wide
+// default applies, which is settable via set_default_threads() (the CLI's
+// --threads flag), the OPTRT_THREADS environment variable, or finally
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optrt::core {
+
+/// Threads the hardware offers (≥ 1).
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Process-wide default thread count: set_default_threads() if called,
+/// else OPTRT_THREADS if set to a positive integer, else hardware_threads().
+[[nodiscard]] std::size_t default_threads();
+
+/// Overrides the process-wide default (0 restores env/hardware detection).
+void set_default_threads(std::size_t threads);
+
+/// Scans argv for "--threads N" (or "--threads=N"), applies it via
+/// set_default_threads(), and removes the flag from argv/argc so callers
+/// can parse the rest undisturbed. Returns the chosen default thread count.
+std::size_t apply_threads_flag(int& argc, char** argv);
+
+/// SplitMix64 finalizer: the avalanche stage used to derive independent
+/// per-point RNG seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for point (a, b) of a sweep keyed by `base`: hash(base, a, b).
+/// Each point gets a statistically independent RNG stream, so the order
+/// (and thread) a point runs on cannot affect its result.
+[[nodiscard]] constexpr std::uint64_t point_seed(std::uint64_t base,
+                                                 std::uint64_t a,
+                                                 std::uint64_t b) noexcept {
+  return mix64(mix64(mix64(base) ^ a) ^ b);
+}
+
+/// Fixed-size pool of persistent workers executing chunked index ranges.
+class ThreadPool {
+ public:
+  /// `threads` = total concurrency including the calling thread
+  /// (0 = default_threads()). A pool of 1 runs everything inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs `chunk_fn(begin, end)` over a partition of [0, count), spread
+  /// across the pool; blocks until all chunks finish. The first exception
+  /// thrown by any chunk is rethrown here (remaining chunks are drained
+  /// without running). `chunk_fn` must be safe to call concurrently.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& chunk_fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_current_job();
+
+  // One job at a time; parallel_for publishes it under mu_ and bumps the
+  // generation, workers run it, the caller waits for all to check back in.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr error;
+  };
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  std::uint64_t generation_ = 0;
+  std::size_t workers_busy_ = 0;
+  bool stopping_ = false;
+  Job job_;
+  std::vector<std::jthread> workers_;
+};
+
+/// out[i] = fn(i) for i in [0, count), computed on `pool`; the result
+/// vector is always in index order, independent of scheduling. T must be
+/// default-constructible; `fn` must be safe to call concurrently.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(ThreadPool& pool, std::size_t count,
+                                          Fn&& fn) {
+  std::vector<T> out(count);
+  pool.parallel_for(count, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// One-shot convenience: builds a pool of `threads` (0 = default) and maps.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t threads,
+                                          std::size_t count, Fn&& fn) {
+  ThreadPool pool(threads);
+  return parallel_map<T>(pool, count, std::forward<Fn>(fn));
+}
+
+}  // namespace optrt::core

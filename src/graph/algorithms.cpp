@@ -68,4 +68,92 @@ bool is_connected(const Graph& g) {
                       [](std::uint32_t x) { return x == kUnreachable; });
 }
 
+namespace {
+
+// FNV-1a over the packed adjacency words, from two different offset bases
+// so the pair behaves like one 128-bit hash.
+std::uint64_t fnv1a_words(const Graph& g, std::uint64_t h) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (std::uint64_t word : g.row_words(u)) {
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (word >> shift) & 0xff;
+        h *= kPrime;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+GraphFingerprint fingerprint(const Graph& g) {
+  GraphFingerprint f;
+  f.n = g.node_count();
+  f.lo = fnv1a_words(g, 0xcbf29ce484222325ULL ^ f.n);
+  f.hi = fnv1a_words(g, 0x6c62272e07bb0142ULL ^ (f.n * 0x9e3779b97f4a7c15ULL));
+  return f;
+}
+
+DistanceCache::DistanceCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const DistanceMatrix> DistanceCache::get(const Graph& g) {
+  const GraphFingerprint key = fingerprint(g);
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      lru_.push_front(key);
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, std::make_pair(entry, lru_.begin()));
+      ++misses_;
+      if (entries_.size() > capacity_) {
+        // Evict the least-recently-used entry; in-flight holders keep the
+        // matrix alive through their shared_ptr.
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    } else {
+      entry = it->second.first;
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      ++hits_;
+    }
+  }
+  // BFS runs outside the cache lock; call_once makes concurrent misses on
+  // the same graph compute it exactly once.
+  std::call_once(entry->once,
+                 [&] { entry->dist = std::make_shared<DistanceMatrix>(g); });
+  return entry->dist;
+}
+
+std::size_t DistanceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t DistanceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t DistanceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void DistanceCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+DistanceCache& DistanceCache::global() {
+  static DistanceCache cache(16);
+  return cache;
+}
+
 }  // namespace optrt::graph

@@ -5,6 +5,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -49,5 +53,63 @@ class DistanceMatrix {
 
 /// True iff the graph is connected.
 [[nodiscard]] bool is_connected(const Graph& g);
+
+/// 128-bit structural fingerprint of a graph: node count plus two
+/// independent hashes of the packed adjacency matrix. Equal graphs always
+/// collide; distinct graphs collide with probability ~2⁻¹²⁸.
+struct GraphFingerprint {
+  std::uint64_t n = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) noexcept = default;
+};
+[[nodiscard]] GraphFingerprint fingerprint(const Graph& g);
+
+/// Process-wide memo of all-pairs BFS keyed by graph fingerprint, so the
+/// verifier, the scheme builders, and the benches compute each graph's
+/// DistanceMatrix once instead of once per caller. Thread-safe: concurrent
+/// get() calls for the same graph compute the matrix exactly once (others
+/// block until it is ready); matrices for distinct graphs are computed
+/// concurrently without serializing on the cache lock. Entries are evicted
+/// LRU beyond `capacity`; returned shared_ptrs stay valid regardless.
+class DistanceCache {
+ public:
+  explicit DistanceCache(std::size_t capacity = 16);
+
+  /// The distance matrix of `g`, computed on first use.
+  [[nodiscard]] std::shared_ptr<const DistanceMatrix> get(const Graph& g);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  void clear();
+
+  /// The shared process-wide instance.
+  static DistanceCache& global();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const DistanceMatrix> dist;
+  };
+  struct KeyHash {
+    std::size_t operator()(const GraphFingerprint& f) const noexcept {
+      return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<GraphFingerprint> lru_;  // front = most recent
+  std::unordered_map<GraphFingerprint,
+                     std::pair<std::shared_ptr<Entry>,
+                               std::list<GraphFingerprint>::iterator>,
+                     KeyHash>
+      entries_;
+};
 
 }  // namespace optrt::graph

@@ -21,7 +21,8 @@ unsigned id_width(std::size_t n) {
 
 Theorem10Result theorem10_encode(const graph::Graph& g, NodeId u) {
   const std::size_t n = g.node_count();
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   if (dist.diameter() > 2) {
     throw std::invalid_argument("theorem10_encode: diameter > 2");
   }

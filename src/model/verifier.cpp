@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <random>
 
+#include "core/parallel.hpp"
 #include "graph/generators.hpp"
 
 namespace optrt::model {
@@ -38,52 +39,69 @@ WalkOutcome walk(const graph::Graph& g, const RoutingScheme& scheme,
   return out;
 }
 
-}  // namespace
-
-std::size_t route_once(const graph::Graph& g, const RoutingScheme& scheme,
-                       NodeId src, NodeId dst, std::size_t hop_budget) {
-  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
-  const WalkOutcome out = walk(g, scheme, src, dst, hop_budget);
-  return out.delivered ? out.edges : 0;
-}
-
-VerificationResult verify_scheme(const graph::Graph& g,
-                                 const RoutingScheme& scheme,
-                                 std::size_t hop_budget) {
-  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
-  VerificationResult result;
-  const graph::DistanceMatrix dist(g);
+// Partial verification result for one source node. Shards are merged in
+// source order by finish() — the same association the serial reference
+// uses — so sharded and serial runs agree bit for bit, including the
+// floating-point stretch aggregates.
+struct SourceAccum {
+  std::size_t pairs_checked = 0;
+  std::size_t pairs_failed = 0;
+  std::size_t invalid_hops = 0;
+  std::uint64_t total_route_edges = 0;
+  std::size_t max_route_edges = 0;
+  double max_stretch = 0.0;
   double stretch_sum = 0.0;
   std::size_t stretch_pairs = 0;
+};
 
+SourceAccum verify_from_source(const graph::Graph& g,
+                               const RoutingScheme& scheme,
+                               const graph::DistanceMatrix& dist, NodeId u,
+                               std::size_t hop_budget) {
+  SourceAccum acc;
   const std::size_t n = g.node_count();
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = 0; v < n; ++v) {
-      if (u == v) continue;
-      ++result.pairs_checked;
-      if (dist.at(u, v) == graph::kUnreachable) {
-        // Disconnected pair: schemes are only required to route within the
-        // connected component; skip.
-        continue;
-      }
-      const WalkOutcome out = walk(g, scheme, u, v, hop_budget);
-      if (out.invalid_hop) {
-        ++result.invalid_hops;
-        ++result.pairs_failed;
-        continue;
-      }
-      if (!out.delivered) {
-        ++result.pairs_failed;
-        continue;
-      }
-      result.total_route_edges += out.edges;
-      result.max_route_edges = std::max(result.max_route_edges, out.edges);
-      const double stretch =
-          static_cast<double>(out.edges) / static_cast<double>(dist.at(u, v));
-      result.max_stretch = std::max(result.max_stretch, stretch);
-      stretch_sum += stretch;
-      ++stretch_pairs;
+  for (NodeId v = 0; v < n; ++v) {
+    if (u == v) continue;
+    ++acc.pairs_checked;
+    if (dist.at(u, v) == graph::kUnreachable) {
+      // Disconnected pair: schemes are only required to route within the
+      // connected component; skip.
+      continue;
     }
+    const WalkOutcome out = walk(g, scheme, u, v, hop_budget);
+    if (out.invalid_hop) {
+      ++acc.invalid_hops;
+      ++acc.pairs_failed;
+      continue;
+    }
+    if (!out.delivered) {
+      ++acc.pairs_failed;
+      continue;
+    }
+    acc.total_route_edges += out.edges;
+    acc.max_route_edges = std::max(acc.max_route_edges, out.edges);
+    const double stretch =
+        static_cast<double>(out.edges) / static_cast<double>(dist.at(u, v));
+    acc.max_stretch = std::max(acc.max_stretch, stretch);
+    acc.stretch_sum += stretch;
+    ++acc.stretch_pairs;
+  }
+  return acc;
+}
+
+VerificationResult finish(const std::vector<SourceAccum>& accums) {
+  VerificationResult result;
+  double stretch_sum = 0.0;
+  std::size_t stretch_pairs = 0;
+  for (const SourceAccum& acc : accums) {
+    result.pairs_checked += acc.pairs_checked;
+    result.pairs_failed += acc.pairs_failed;
+    result.invalid_hops += acc.invalid_hops;
+    result.total_route_edges += acc.total_route_edges;
+    result.max_route_edges = std::max(result.max_route_edges, acc.max_route_edges);
+    result.max_stretch = std::max(result.max_stretch, acc.max_stretch);
+    stretch_sum += acc.stretch_sum;
+    stretch_pairs += acc.stretch_pairs;
   }
   result.all_delivered = result.pairs_failed == 0;
   result.mean_stretch =
@@ -91,12 +109,48 @@ VerificationResult verify_scheme(const graph::Graph& g,
   return result;
 }
 
+}  // namespace
+
+std::size_t route_once(const graph::Graph& g, const RoutingScheme& scheme,
+                       NodeId src, NodeId dst, std::size_t hop_budget) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  const WalkOutcome out = walk(g, scheme, src, dst, hop_budget);
+  return out.delivered ? out.edges : 0;
+}
+
+VerificationResult verify_scheme(const graph::Graph& g,
+                                 const RoutingScheme& scheme,
+                                 std::size_t hop_budget, std::size_t threads) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  const auto dist = graph::DistanceCache::global().get(g);
+  core::ThreadPool pool(threads);
+  const auto accums = core::parallel_map<SourceAccum>(
+      pool, g.node_count(), [&](std::size_t u) {
+        return verify_from_source(g, scheme, *dist,
+                                  static_cast<NodeId>(u), hop_budget);
+      });
+  return finish(accums);
+}
+
+VerificationResult verify_scheme_serial(const graph::Graph& g,
+                                        const RoutingScheme& scheme,
+                                        std::size_t hop_budget) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  const graph::DistanceMatrix dist(g);
+  std::vector<SourceAccum> accums;
+  accums.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    accums.push_back(verify_from_source(g, scheme, dist, u, hop_budget));
+  }
+  return finish(accums);
+}
+
 VerificationResult verify_scheme_sampled(const graph::Graph& g,
                                          const RoutingScheme& scheme,
                                          std::size_t samples,
                                          std::uint64_t seed,
                                          std::size_t hop_budget) {
-  if (hop_budget == 0) hop_budget = 4 * g.node_count() + 16;
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
   VerificationResult result;
   const std::size_t n = g.node_count();
   if (n < 2) {
@@ -138,7 +192,8 @@ VerificationResult verify_scheme_sampled(const graph::Graph& g,
 FullInformationCheck verify_full_information(
     const graph::Graph& g, const FullInformationRouting& scheme) {
   FullInformationCheck check;
-  const graph::DistanceMatrix dist(g);
+  const auto dist_ptr = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_ptr;
   const std::size_t n = g.node_count();
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = 0; v < n; ++v) {

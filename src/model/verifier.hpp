@@ -12,6 +12,14 @@
 
 namespace optrt::model {
 
+/// Default hop budget for routing a message on an n-node graph: 4n + 16,
+/// generous enough for Theorem 5's 2(c+3)·log n probe walks. The single
+/// source of truth behind the `hop_budget = 0` / `max_hops = 0` sentinels
+/// of the verifier and the simulator.
+[[nodiscard]] constexpr std::size_t default_hop_budget(std::size_t n) noexcept {
+  return 4 * n + 16;
+}
+
 struct VerificationResult {
   bool all_delivered = false;
   std::size_t pairs_checked = 0;
@@ -28,11 +36,26 @@ struct VerificationResult {
 };
 
 /// Routes every ordered pair (u, v), u != v, through `scheme` on `g`.
-/// A route longer than `hop_budget` edges counts as failed (default: 4n+16,
-/// generous enough for Theorem 5's 2(c+3)·log n probe walks).
+/// A route longer than `hop_budget` edges counts as failed
+/// (0 = default_hop_budget(n)).
+///
+/// The pair space is sharded by source node across `threads` workers
+/// (0 = core::default_threads()) and per-source partial results are merged
+/// in source order, so every field of the result — including the
+/// floating-point max/mean stretch — is bit-identical for any thread
+/// count, and identical to verify_scheme_serial. Distances come from
+/// graph::DistanceCache::global().
 [[nodiscard]] VerificationResult verify_scheme(const graph::Graph& g,
                                                const RoutingScheme& scheme,
-                                               std::size_t hop_budget = 0);
+                                               std::size_t hop_budget = 0,
+                                               std::size_t threads = 0);
+
+/// Single-threaded reference implementation of verify_scheme, kept as the
+/// differential-testing baseline (tests/verifier_test.cpp compares the
+/// sharded path against it field by field).
+[[nodiscard]] VerificationResult verify_scheme_serial(
+    const graph::Graph& g, const RoutingScheme& scheme,
+    std::size_t hop_budget = 0);
 
 /// Routes one pair; returns the number of edges traversed, or 0 on failure.
 [[nodiscard]] std::size_t route_once(const graph::Graph& g,

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "graph/encoding.hpp"
+#include "model/verifier.hpp"
 #include "schemes/full_information.hpp"
 
 namespace optrt::net {
@@ -14,7 +15,9 @@ Simulator::Simulator(const graph::Graph& g, const model::RoutingScheme& scheme,
       scheme_(&scheme),
       full_info_(dynamic_cast<const model::FullInformationRouting*>(&scheme)),
       config_(config) {
-  if (config_.max_hops == 0) config_.max_hops = 4 * g.node_count() + 16;
+  if (config_.max_hops == 0) {
+    config_.max_hops = model::default_hop_budget(g.node_count());
+  }
 }
 
 std::uint64_t Simulator::send(NodeId source, NodeId destination,

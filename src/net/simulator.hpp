@@ -24,7 +24,7 @@ struct SimulatorConfig {
   /// unweighted).
   std::uint64_t link_latency = 1;
   /// Messages exceeding this many edges are dropped (guards probe loops).
-  std::size_t max_hops = 0;  ///< 0 = 4n+16
+  std::size_t max_hops = 0;  ///< 0 = model::default_hop_budget(n)
   /// Store-and-forward congestion: each directed link transmits one
   /// message per link_latency window; others queue FIFO. Makes hotspot
   /// concentration visible (e.g. Theorem 4's hub under load).

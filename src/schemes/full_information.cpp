@@ -8,7 +8,8 @@ namespace optrt::schemes {
 FullInformationScheme::FullInformationScheme(const graph::Graph& g,
                                              graph::PortAssignment ports)
     : n_(g.node_count()), ports_(std::move(ports)) {
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   matrix_bits_.resize(n_);
   for (NodeId u = 0; u < n_; ++u) {
     const std::size_t d = ports_.degree(u);

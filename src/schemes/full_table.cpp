@@ -15,7 +15,8 @@ FullTableScheme::FullTableScheme(const graph::Graph& g,
       model_(declared_model),
       ports_(std::move(ports)),
       labeling_(std::move(labeling)) {
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   width_.resize(n_);
   table_bits_.resize(n_);
   for (NodeId u = 0; u < n_; ++u) {

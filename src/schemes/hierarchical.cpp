@@ -38,7 +38,8 @@ HierarchicalScheme::HierarchicalScheme(const graph::Graph& g, Options options)
   if (!graph::is_connected(g)) {
     throw SchemeInapplicable("hierarchical: graph disconnected");
   }
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   const double k = static_cast<double>(levels_);
 
   // Nested pivot sets: A_i = first ⌈n^{(k−i)/k}⌉ nodes of one shuffled
@@ -162,7 +163,8 @@ HierarchicalScheme::HierarchicalScheme(
   if (levels_ < 2 || node_bits.size() != n_) {
     throw std::invalid_argument("HierarchicalScheme: bad serialized state");
   }
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   pivot_of_.resize(levels_);
   pivot_of_[0].resize(n_);
   std::iota(pivot_of_[0].begin(), pivot_of_[0].end(), 0);

@@ -21,7 +21,8 @@ KIntervalScheme::KIntervalScheme(const graph::Graph& g)
   if (!graph::is_connected(g)) {
     throw SchemeInapplicable("k-interval: graph disconnected");
   }
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n_, 2));
 
   function_bits_.resize(n_);

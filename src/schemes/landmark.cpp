@@ -38,7 +38,8 @@ LandmarkScheme::LandmarkScheme(const graph::Graph& g, Options options)
     landmark_index_[landmarks_[i]] = i;
   }
 
-  const graph::DistanceMatrix dist(g);
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
 
   // Nearest landmark per node (least id on ties).
   landmark_of_.assign(n_, landmarks_[0]);

@@ -1,0 +1,140 @@
+// DistanceCache tests: hit/miss accounting, LRU eviction, correctness
+// against uncached BFS on random and adversarial graphs, and concurrent
+// access safety under the thread pool (run under TSan by the tsan preset).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace optrt::graph {
+namespace {
+
+void expect_matches_bfs(const Graph& g, const DistanceMatrix& dist) {
+  ASSERT_EQ(dist.node_count(), g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto row = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(dist.at(u, v), row[v]) << "pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(GraphFingerprint, EqualGraphsCollideDifferentGraphsDoNot) {
+  // Same edges inserted in different order → same fingerprint.
+  Graph a(5), b(5);
+  a.add_edge(0, 1);
+  a.add_edge(2, 3);
+  a.add_edge(1, 4);
+  b.add_edge(1, 4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+  Graph c(5);
+  c.add_edge(0, 1);
+  c.add_edge(2, 3);
+  c.add_edge(2, 4);  // one different edge
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+
+  // Same (empty) edge set, different node count.
+  EXPECT_NE(fingerprint(Graph(4)), fingerprint(Graph(5)));
+}
+
+TEST(DistanceCache, HitAndMissAccounting) {
+  DistanceCache cache(4);
+  const Graph g = chain(10);
+  const auto first = cache.get(g);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto second = cache.get(g);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());  // memoized, not recomputed
+
+  // A structurally identical copy hits too — the key is the fingerprint.
+  Graph copy(10);
+  for (NodeId u = 0; u + 1 < 10; ++u) copy.add_edge(u, u + 1);
+  EXPECT_EQ(cache.get(copy).get(), first.get());
+  EXPECT_EQ(cache.hits(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(DistanceCache, CorrectOnRandomAndAdversarialGraphs) {
+  DistanceCache cache(8);
+  std::vector<Graph> graphs;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    graphs.push_back(random_uniform(20, rng));
+  }
+  graphs.push_back(chain(17));  // max diameter
+  graphs.push_back(star(9));    // hub concentration
+  Graph disconnected(8);        // two components + isolated nodes
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(1, 2);
+  disconnected.add_edge(4, 5);
+  graphs.push_back(disconnected);
+  graphs.push_back(Graph(1));   // degenerate
+  for (const Graph& g : graphs) {
+    expect_matches_bfs(g, *cache.get(g));
+    expect_matches_bfs(g, *cache.get(g));  // cached copy stays correct
+  }
+}
+
+TEST(DistanceCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  DistanceCache cache(2);
+  const Graph a = chain(5), b = ring(6), c = star(7);
+  const auto dist_a = cache.get(a);
+  (void)cache.get(b);
+  (void)cache.get(a);  // refresh a; b is now LRU
+  (void)cache.get(c);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+  (void)cache.get(a);  // still resident
+  EXPECT_EQ(cache.hits(), 2u);
+  (void)cache.get(b);  // evicted: recomputed
+  EXPECT_EQ(cache.misses(), 4u);
+  // The evicted entry's shared_ptr kept the matrix alive for holders.
+  expect_matches_bfs(a, *dist_a);
+}
+
+TEST(DistanceCache, GlobalIsASingleton) {
+  EXPECT_EQ(&DistanceCache::global(), &DistanceCache::global());
+}
+
+TEST(DistanceCache, ConcurrentReadsAndMissesAreSafe) {
+  // 8 threads × 64 tasks hammer one cache over 4 graphs: concurrent
+  // first-misses on the same graph must compute the matrix exactly once,
+  // and concurrent readers must see a fully built matrix. TSan-checked.
+  DistanceCache cache(4);
+  std::vector<Graph> graphs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    graphs.push_back(random_uniform(24, rng));
+  }
+  core::ThreadPool pool(8);
+  const auto checks = core::parallel_map<int>(pool, 64, [&](std::size_t i) {
+    const Graph& g = graphs[i % graphs.size()];
+    const auto dist = cache.get(g);
+    int mismatches = 0;
+    const NodeId u = static_cast<NodeId>(i % g.node_count());
+    const auto row = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dist->at(u, v) != row[v]) ++mismatches;
+    }
+    return mismatches;
+  });
+  for (int m : checks) EXPECT_EQ(m, 0);
+  EXPECT_EQ(cache.misses(), 4u);  // one compute per distinct graph
+  EXPECT_EQ(cache.hits(), 60u);
+}
+
+}  // namespace
+}  // namespace optrt::graph

@@ -1,0 +1,198 @@
+// Thread-pool unit tests plus the determinism contract: parallel sweeps
+// and verifications must be bit-identical at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::core {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdown) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+  }
+  // Repeated construction/destruction must not leak or deadlock.
+  for (int round = 0; round < 16; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+      ran += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  ThreadPool pool;  // default_threads()
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SetDefaultThreadsOverrides) {
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(), 3u);
+  set_default_threads(0);  // restore auto-detection
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ThreadPool, AppliesThreadsFlagAndStripsIt) {
+  char prog[] = "prog";
+  char flag[] = "--threads";
+  char value[] = "5";
+  char other[] = "positional";
+  char* argv[] = {prog, flag, value, other, nullptr};
+  int argc = 4;
+  EXPECT_EQ(apply_threads_flag(argc, argv), 5u);
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "positional");
+  set_default_threads(0);
+
+  char eq_flag[] = "--threads=7";
+  char* argv2[] = {prog, eq_flag, nullptr};
+  int argc2 = 2;
+  EXPECT_EQ(apply_threads_flag(argc2, argv2), 7u);
+  EXPECT_EQ(argc2, 1);
+  set_default_threads(0);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunkBoundariesCoverEveryIndexExactlyOnce) {
+  // Counts chosen to hit the edges: fewer than threads, exactly one chunk,
+  // a prime, and a large non-multiple of the chunk size.
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (std::size_t count : {1u, 2u, 7u, 97u, 1000u, 1023u}) {
+      std::vector<std::atomic<int>> seen(count);
+      pool.parallel_for(count, [&](std::size_t b, std::size_t e) {
+        ASSERT_LE(b, e);
+        ASSERT_LE(e, count);
+        for (std::size_t i = b; i < e; ++i) seen[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(seen[i].load(), 1) << "index " << i << " threads " << threads
+                                     << " count " << count;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(8);
+  const auto out = parallel_map<std::size_t>(
+      pool, 257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfWorkers) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [&](std::size_t, std::size_t) {
+                     throw std::runtime_error("worker boom");
+                   }),
+               std::runtime_error);
+  // The pool must survive a failed job and run the next one normally.
+  std::atomic<int> ran{0};
+  pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+    ran += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionFromSingleIndexPropagates) {
+  ThreadPool pool(8);
+  try {
+    pool.parallel_for(500, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (i == 313) throw std::out_of_range("index 313");
+      }
+    });
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "index 313");
+  }
+}
+
+TEST(Seeding, Mix64IsTheSplitMix64Finalizer) {
+  // Known-answer pins: the first outputs of splitmix64 seeded with 0.
+  EXPECT_EQ(mix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(mix64(1), 0x910a2dec89025cc1ULL);
+  // point_seed must separate all three arguments.
+  EXPECT_NE(point_seed(0, 1, 2), point_seed(0, 2, 1));
+  EXPECT_NE(point_seed(0, 1, 2), point_seed(1, 1, 2));
+}
+
+// The headline determinism property: sweeps over ≥ 20 seeded graphs are
+// byte-identical at 1, 2, and 8 threads.
+TEST(Determinism, SweepCertifiedIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::size_t> ns = {32, 48};
+  const std::size_t seeds = 10;  // 2 × 10 = 20 graphs
+  const auto measure = [](const graph::Graph& g) {
+    // A value sensitive to the whole graph: edges plus a degree checksum.
+    double acc = static_cast<double>(g.edge_count());
+    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+      acc += static_cast<double>(g.degree(u)) / (u + 1.0);
+    }
+    return acc;
+  };
+  const auto run = [&](std::size_t threads) {
+    return sweep_certified(ns, seeds, measure,
+                           SweepOptions{.base_seed = 42, .threads = threads});
+  };
+  const auto r1 = run(1);
+  const auto r2 = run(2);
+  const auto r8 = run(8);
+  ASSERT_EQ(r1.size(), 20u);
+  ASSERT_EQ(r2.size(), r1.size());
+  ASSERT_EQ(r8.size(), r1.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].n, r2[i].n);
+    EXPECT_EQ(r1[i].seed, r2[i].seed);
+    // Bit-level comparison, not EXPECT_DOUBLE_EQ: the contract is identity.
+    EXPECT_EQ(std::memcmp(&r1[i].value, &r2[i].value, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&r1[i].value, &r8[i].value, sizeof(double)), 0);
+  }
+}
+
+TEST(Determinism, VerifySchemeIsBitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graph::Rng rng(seed);
+    const graph::Graph g = graph::random_uniform(24, rng);
+    const auto scheme = schemes::FullTableScheme::standard(g);
+    const auto serial = model::verify_scheme_serial(g, scheme);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      const auto r = model::verify_scheme(g, scheme, 0, threads);
+      EXPECT_EQ(r.all_delivered, serial.all_delivered);
+      EXPECT_EQ(r.pairs_checked, serial.pairs_checked);
+      EXPECT_EQ(r.pairs_failed, serial.pairs_failed);
+      EXPECT_EQ(r.invalid_hops, serial.invalid_hops);
+      EXPECT_EQ(r.total_route_edges, serial.total_route_edges);
+      EXPECT_EQ(r.max_route_edges, serial.max_route_edges);
+      EXPECT_EQ(std::memcmp(&r.max_stretch, &serial.max_stretch,
+                            sizeof(double)), 0);
+      EXPECT_EQ(std::memcmp(&r.mean_stretch, &serial.mean_stretch,
+                            sizeof(double)), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optrt::core

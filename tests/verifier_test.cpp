@@ -1,10 +1,30 @@
 // Verifier tests: the §1 route/stretch semantics, including detection of
-// misbehaving schemes.
+// misbehaving schemes, plus the differential harness pinning the sharded
+// verifier to the serial reference on every scheme in src/schemes.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
 #include "graph/generators.hpp"
+#include "graph/ports.hpp"
 #include "model/verifier.hpp"
+#include "schemes/compiler.hpp"
+#include "schemes/errors.hpp"
+#include "schemes/full_information.hpp"
 #include "schemes/full_table.hpp"
+#include "schemes/hierarchical.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/interval.hpp"
+#include "schemes/k_interval.hpp"
+#include "schemes/landmark.hpp"
+#include "schemes/neighbor_label.hpp"
+#include "schemes/routing_center.hpp"
+#include "schemes/sequential_search.hpp"
 
 namespace optrt::model {
 namespace {
@@ -108,6 +128,143 @@ TEST(Verifier, RouteOnceReturnsEdgeCount) {
   const auto scheme = schemes::FullTableScheme::standard(g);
   EXPECT_EQ(route_once(g, scheme, 0, 6, 0), 6u);
   EXPECT_EQ(route_once(g, scheme, 2, 3, 0), 1u);
+}
+
+TEST(Verifier, DefaultHopBudgetPinned) {
+  // Regression pin for the "4n + 16" sentinel, now hoisted into one
+  // helper shared by the verifier and the simulator.
+  EXPECT_EQ(default_hop_budget(0), 16u);
+  EXPECT_EQ(default_hop_budget(16), 80u);
+  EXPECT_EQ(default_hop_budget(256), 1040u);
+  // Passing the resolved budget explicitly must match the 0 sentinel.
+  const Graph g = graph::chain(12);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  const auto implicit = verify_scheme(g, scheme, 0);
+  const auto explicit_budget =
+      verify_scheme(g, scheme, default_hop_budget(g.node_count()));
+  EXPECT_EQ(implicit.pairs_failed, explicit_budget.pairs_failed);
+  EXPECT_EQ(implicit.total_route_edges, explicit_budget.total_route_edges);
+}
+
+// --- Differential harness: sharded verify_scheme vs the serial reference -
+
+void expect_identical_results(const VerificationResult& a,
+                              const VerificationResult& b,
+                              const std::string& context) {
+  EXPECT_EQ(a.all_delivered, b.all_delivered) << context;
+  EXPECT_EQ(a.pairs_checked, b.pairs_checked) << context;
+  EXPECT_EQ(a.pairs_failed, b.pairs_failed) << context;
+  EXPECT_EQ(a.invalid_hops, b.invalid_hops) << context;
+  EXPECT_EQ(a.total_route_edges, b.total_route_edges) << context;
+  EXPECT_EQ(a.max_route_edges, b.max_route_edges) << context;
+  // Bit-level: max/mean stretch must agree including tie-breaking and
+  // floating-point association, not just within a tolerance.
+  EXPECT_EQ(std::memcmp(&a.max_stretch, &b.max_stretch, sizeof(double)), 0)
+      << context << " max_stretch " << a.max_stretch << " vs " << b.max_stretch;
+  EXPECT_EQ(std::memcmp(&a.mean_stretch, &b.mean_stretch, sizeof(double)), 0)
+      << context << " mean_stretch " << a.mean_stretch << " vs "
+      << b.mean_stretch;
+}
+
+using SchemeFactory =
+    std::pair<std::string,
+              std::function<std::unique_ptr<RoutingScheme>(const Graph&)>>;
+
+// One factory per scheme in src/schemes; factories whose preconditions the
+// graph fails (diameter > 2, no Lemma 3 cover, …) report inapplicable.
+std::vector<SchemeFactory> all_scheme_factories() {
+  std::vector<SchemeFactory> factories;
+  factories.emplace_back("full_table", [](const Graph& g) {
+    return std::make_unique<schemes::FullTableScheme>(
+        schemes::FullTableScheme::standard(g));
+  });
+  factories.emplace_back("full_information", [](const Graph& g) {
+    return std::make_unique<schemes::FullInformationScheme>(
+        g, graph::PortAssignment::sorted(g));
+  });
+  factories.emplace_back("interval", [](const Graph& g) {
+    return std::make_unique<schemes::IntervalRoutingScheme>(g);
+  });
+  factories.emplace_back("k_interval", [](const Graph& g) {
+    return std::make_unique<schemes::KIntervalScheme>(g);
+  });
+  factories.emplace_back("hierarchical", [](const Graph& g) {
+    return std::make_unique<schemes::HierarchicalScheme>(g);
+  });
+  factories.emplace_back("landmark", [](const Graph& g) {
+    return std::make_unique<schemes::LandmarkScheme>(g);
+  });
+  factories.emplace_back("hub", [](const Graph& g) {
+    return std::make_unique<schemes::HubScheme>(g);
+  });
+  factories.emplace_back("routing_center", [](const Graph& g) {
+    return std::make_unique<schemes::RoutingCenterScheme>(g);
+  });
+  factories.emplace_back("sequential_search", [](const Graph& g) {
+    return std::make_unique<schemes::SequentialSearchScheme>(g);
+  });
+  factories.emplace_back("neighbor_label", [](const Graph& g) {
+    return std::make_unique<schemes::NeighborLabelScheme>(g);
+  });
+  // The compiler's Table 1 selections (compact_diam2 and friends), across
+  // every model, with fallback enabled so each model yields some scheme.
+  for (const Model& m : Model::all()) {
+    factories.emplace_back("compile:" + m.name(), [m](const Graph& g) {
+      return schemes::compile(g, m);
+    });
+  }
+  return factories;
+}
+
+TEST(VerifierDifferential, ShardedMatchesSerialOnEveryScheme) {
+  std::size_t schemes_checked = 0;
+  for (std::size_t n : {8u, 16u, 32u}) {
+    // A certified G(n, 1/2) draw where possible (so the compact paper
+    // constructions apply) with a plain uniform fallback at small n.
+    graph::Rng rng(n);
+    Graph g = graph::random_uniform(n, rng);
+    try {
+      graph::Rng certified_rng(n);
+      g = core::certified_random_graph(n, certified_rng);
+    } catch (const std::runtime_error&) {
+      // Small n may never certify; the uniform draw is fine for routing.
+    }
+    for (const auto& [name, make] : all_scheme_factories()) {
+      std::unique_ptr<RoutingScheme> scheme;
+      try {
+        scheme = make(g);
+      } catch (const schemes::SchemeInapplicable&) {
+        continue;  // this graph lacks the scheme's preconditions
+      }
+      const std::string context = name + " on n=" + std::to_string(n);
+      const auto serial = verify_scheme_serial(g, *scheme);
+      for (std::size_t threads : {1u, 2u, 8u}) {
+        expect_identical_results(
+            verify_scheme(g, *scheme, 0, threads), serial,
+            context + " threads=" + std::to_string(threads));
+      }
+      ++schemes_checked;
+    }
+  }
+  // Every named scheme must have been exercised on at least one n.
+  EXPECT_GE(schemes_checked, 3 * 10u);
+}
+
+TEST(VerifierDifferential, ShardedMatchesSerialOnMisbehavingSchemes) {
+  // Failure counting (invalid hops, hop-budget exhaustion) must shard
+  // identically too, not just the happy path.
+  graph::Rng rng(11);
+  const Graph g = graph::random_uniform(16, rng);
+  for (const auto mode :
+       {MisbehavingScheme::Mode::kNonNeighborHop,
+        MisbehavingScheme::Mode::kLoopForever, MisbehavingScheme::Mode::kDetour}) {
+    const MisbehavingScheme scheme(g, mode);
+    const auto serial = verify_scheme_serial(g, scheme);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      expect_identical_results(verify_scheme(g, scheme, 0, threads), serial,
+                               "misbehaving mode");
+    }
+  }
 }
 
 TEST(Verifier, HeaderBitsInFlightAccounting) {

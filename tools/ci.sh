@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI driver: full build + test on the default preset, then targeted
+# sanitizer passes over the concurrency-sensitive suites (thread pool,
+# distance cache, sharded verifier) with ThreadSanitizer and
+# AddressSanitizer+UBSan. Mirrors what a GitHub Actions job would run.
+#
+#   tools/ci.sh            # default + tsan + asan
+#   tools/ci.sh default    # just one stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(default tsan asan)
+fi
+
+# The sanitizer stages only need the suites they gate on; building
+# everything under TSan would double CI time for no coverage.
+SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test)
+
+for stage in "${STAGES[@]}"; do
+  echo "=== [$stage] configure ==="
+  cmake --preset "$stage"
+  echo "=== [$stage] build ==="
+  if [ "$stage" = default ]; then
+    cmake --build --preset "$stage" -j "$JOBS"
+  else
+    cmake --build --preset "$stage" -j "$JOBS" -- "${SANITIZED_TARGETS[@]}"
+  fi
+  echo "=== [$stage] test ==="
+  ctest --preset "$stage"
+done
+
+echo "CI: all stages passed (${STAGES[*]})"
