@@ -23,23 +23,17 @@ int main(int argc, char** argv) {
   const schemes::CompactDiam2Scheme compact(g, {});
   const auto full = schemes::FullInformationScheme::standard(g);
 
-  // Fail `failures` random links (same set for both runs).
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> down;
-  graph::Rng failure_rng(seed + 1);
-  std::uniform_int_distribution<graph::NodeId> pick(0,
-                                                    static_cast<graph::NodeId>(n - 1));
-  while (down.size() < failures) {
-    const graph::NodeId u = pick(failure_rng);
-    const graph::NodeId v = pick(failure_rng);
-    if (u != v && g.has_edge(u, v)) down.emplace_back(u, v);
-  }
+  // Fail `failures` links drawn from the edge list (same seeded plan for
+  // both runs; bounded and duplicate-free by construction).
+  const net::FaultPlan plan =
+      net::uniform_link_faults(g, failures, {.seed = seed + 1});
 
   graph::Rng traffic_rng(seed + 2);
   const auto traffic = net::uniform_random(n, 2000, traffic_rng);
 
   auto run = [&](const model::RoutingScheme& scheme, const char* name) {
     net::Simulator sim(g, scheme);
-    for (const auto& [u, v] : down) sim.fail_link(u, v);
+    sim.schedule(plan);
     for (const auto& [u, v] : traffic) sim.send(u, v);
     const auto stats = sim.run();
     std::cout << name << ": delivered " << stats.delivered << "/"
@@ -50,8 +44,9 @@ int main(int argc, char** argv) {
     return stats;
   };
 
-  std::cout << "n=" << n << ", |E|=" << g.edge_count() << ", " << failures
-            << " failed links, " << traffic.size() << " messages\n\n";
+  std::cout << "n=" << n << ", |E|=" << g.edge_count() << ", "
+            << plan.fail_count() << " failed links, " << traffic.size()
+            << " messages\n\n";
   const auto compact_stats = run(compact, "compact   (Theorem 1, one path) ");
   const auto full_stats = run(full, "full-info (Theorem 10, all paths)");
 

@@ -6,12 +6,20 @@
 //   optrt_cli route    G.eg S.ort <src> <dst>
 //   optrt_cli verify   G.eg S.ort
 //   optrt_cli sizes    G.eg
+//   optrt_cli simulate G.eg S.ort [--messages M] [--traffic T]
+//                      [--failures K | --fail-fraction F] [--fault-model M]
+//                      [--fault-seed S] [--repair-after T] [--policy P]
+//                      [--retries N] [--backoff B] [--serialize-links]
 //
 // Families: uniform gnp:<p> chain ring complete star grid:<r>x<c>
 //           hypercube:<d> gb:<k>
 // Models:   IA.alpha IA.beta IA.gamma IB.alpha ... II.gamma
 // Objectives: shortest stretch1.5 stretch2 stretchlog fullinfo
+// Traffic:  uniform allpairs hotspot permutation
+// Faults:   uniform targeted partition nodes;  policies: none retry
+//           deflect fallback
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -34,6 +42,13 @@ using namespace optrt;
       "  optrt_cli route G.eg S.ort <src> <dst>\n"
       "  optrt_cli verify G.eg S.ort\n"
       "  optrt_cli sizes G.eg\n"
+      "  optrt_cli simulate G.eg S.ort [--messages M] [--traffic "
+      "uniform|allpairs|hotspot|permutation]\n"
+      "      [--failures K | --fail-fraction F] [--fault-model "
+      "uniform|targeted|partition|nodes]\n"
+      "      [--fault-seed S] [--repair-after T] [--policy "
+      "none|retry|deflect|fallback]\n"
+      "      [--retries N] [--backoff B] [--serialize-links]\n"
       "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
       "hypercube:<d> gb:<k>\n"
       "global: --threads N (worker threads for verify/sizes; default "
@@ -48,6 +63,18 @@ struct Args {
   bool certified = false;
   std::string model = "II.alpha";
   std::string objective = "shortest";
+  // simulate knobs.
+  std::size_t messages = 1000;
+  std::string traffic = "uniform";
+  std::size_t failures = 0;
+  std::optional<double> fail_fraction;
+  std::string fault_model = "uniform";
+  std::uint64_t fault_seed = 1;
+  std::uint64_t repair_after = 0;
+  std::string policy = "none";
+  std::uint32_t retries = 4;
+  std::uint64_t backoff = 2;
+  bool serialize_links = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -68,6 +95,29 @@ Args parse(int argc, char** argv) {
       args.model = next();
     } else if (a == "--objective") {
       args.objective = next();
+    } else if (a == "--messages") {
+      args.messages = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (a == "--traffic") {
+      args.traffic = next();
+    } else if (a == "--failures") {
+      args.failures = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (a == "--fail-fraction") {
+      args.fail_fraction = std::strtod(next().c_str(), nullptr);
+    } else if (a == "--fault-model") {
+      args.fault_model = next();
+    } else if (a == "--fault-seed") {
+      args.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--repair-after") {
+      args.repair_after = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--policy") {
+      args.policy = next();
+    } else if (a == "--retries") {
+      args.retries =
+          static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (a == "--backoff") {
+      args.backoff = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--serialize-links") {
+      args.serialize_links = true;
     } else if (!a.empty() && a[0] == '-') {
       usage("unknown flag " + a);
     } else {
@@ -281,6 +331,73 @@ int cmd_sizes(const Args& args) {
   return 0;
 }
 
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() != 2) usage("simulate needs <graph> <scheme>");
+  const graph::Graph g = core::load_graph(args.positional[0]);
+  const auto scheme = load_scheme(args.positional[1], g);
+  const std::size_t n = g.node_count();
+
+  const auto fault_model = net::parse_fault_model(args.fault_model);
+  if (!fault_model) usage("unknown fault model " + args.fault_model);
+  const auto policy = net::parse_resilience_policy(args.policy);
+  if (!policy) usage("unknown resilience policy " + args.policy);
+
+  std::size_t failures = args.failures;
+  if (args.fail_fraction) {
+    const double base = *fault_model == net::FaultModel::kNodes
+                            ? static_cast<double>(n)
+                            : static_cast<double>(g.edge_count());
+    failures = static_cast<std::size_t>(*args.fail_fraction * base);
+  }
+  const net::FaultPlan plan = net::make_fault_plan(
+      g, *fault_model, failures,
+      {.seed = args.fault_seed, .repair_after = args.repair_after});
+
+  graph::Rng traffic_rng(args.seed);
+  std::vector<net::TrafficPair> traffic;
+  if (args.traffic == "uniform") {
+    traffic = net::uniform_random(n, args.messages, traffic_rng);
+  } else if (args.traffic == "allpairs") {
+    traffic = net::all_pairs(n);
+  } else if (args.traffic == "hotspot") {
+    traffic = net::hotspot(n, 0);
+  } else if (args.traffic == "permutation") {
+    traffic = net::permutation_traffic(n, traffic_rng);
+  } else {
+    usage("unknown traffic pattern " + args.traffic);
+  }
+
+  net::SimulatorConfig config;
+  config.serialize_links = args.serialize_links;
+  config.measure_stretch = true;
+  config.resilience = {.policy = *policy,
+                       .max_retries = args.retries,
+                       .backoff_base = args.backoff};
+  net::Simulator sim(g, *scheme, config);
+  sim.schedule(plan);
+  for (const auto& [u, v] : traffic) sim.send(u, v);
+  const net::SimulationStats stats = sim.run();
+
+  std::cout << std::fixed << std::setprecision(6) << "{\"scheme\":\""
+            << scheme->name() << "\",\"fault_model\":\""
+            << net::to_string(*fault_model) << "\",\"fault_seed\":"
+            << args.fault_seed << ",\"failures\":" << plan.fail_count()
+            << ",\"plan_fingerprint\":" << plan.fingerprint()
+            << ",\"repair_after\":" << args.repair_after << ",\"policy\":\""
+            << net::to_string(*policy) << "\",\"messages\":" << traffic.size()
+            << ",\"delivered\":" << stats.delivered
+            << ",\"dropped\":" << stats.dropped
+            << ",\"delivery_rate\":" << stats.delivery_rate()
+            << ",\"mean_hops\":" << stats.mean_hops()
+            << ",\"mean_stretch\":" << stats.mean_stretch()
+            << ",\"makespan\":" << stats.makespan
+            << ",\"max_link_load\":" << stats.max_link_load
+            << ",\"retries\":" << stats.total_retries
+            << ",\"deflections\":" << stats.deflections
+            << ",\"fallbacks\":" << stats.fallback_messages << "}\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +412,7 @@ int main(int argc, char** argv) {
     if (command == "route") return cmd_route(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "sizes") return cmd_sizes(args);
+    if (command == "simulate") return cmd_simulate(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

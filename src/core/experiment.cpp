@@ -20,6 +20,16 @@ std::vector<SweepPoint> sweep_certified(
     const std::vector<std::size_t>& ns, std::size_t seeds,
     const std::function<double(const graph::Graph&)>& measure,
     const SweepOptions& opt) {
+  return sweep_certified_seeded(
+      ns, seeds,
+      [&measure](const graph::Graph& g, std::uint64_t) { return measure(g); },
+      opt);
+}
+
+std::vector<SweepPoint> sweep_certified_seeded(
+    const std::vector<std::size_t>& ns, std::size_t seeds,
+    const std::function<double(const graph::Graph&, std::uint64_t)>& measure,
+    const SweepOptions& opt) {
   // Flatten the (n, seed) grid so the pool balances across both axes; the
   // result lands at its grid index, so ordering never depends on threads.
   const std::size_t total = ns.size() * seeds;
@@ -27,9 +37,10 @@ std::vector<SweepPoint> sweep_certified(
   return parallel_map<SweepPoint>(pool, total, [&](std::size_t idx) {
     const std::size_t n = ns[idx / seeds];
     const std::uint64_t seed = idx % seeds + 1;
-    graph::Rng rng(point_seed(opt.base_seed, n, seed));
+    const std::uint64_t derived = point_seed(opt.base_seed, n, seed);
+    graph::Rng rng(derived);
     const graph::Graph g = certified_random_graph(n, rng);
-    return SweepPoint{n, seed, measure(g)};
+    return SweepPoint{n, seed, measure(g, derived)};
   });
 }
 

@@ -47,6 +47,15 @@ struct SweepOptions {
     const std::function<double(const graph::Graph&)>& measure,
     const SweepOptions& opt = {});
 
+/// sweep_certified, but `measure` also receives the point's derived RNG
+/// seed, so downstream randomness (fault plans, traffic workloads) can be
+/// re-derived reproducibly from the same per-point stream — the seed →
+/// plan → stats pipeline the fault benches document in EXPERIMENTS.md.
+[[nodiscard]] std::vector<SweepPoint> sweep_certified_seeded(
+    const std::vector<std::size_t>& ns, std::size_t seeds,
+    const std::function<double(const graph::Graph&, std::uint64_t)>& measure,
+    const SweepOptions& opt = {});
+
 /// Mean of the sweep values for one n.
 [[nodiscard]] double mean_at(const std::vector<SweepPoint>& points,
                              std::size_t n);

@@ -46,6 +46,8 @@
 #include "model/scheme.hpp"
 #include "model/verifier.hpp"
 #include "net/construction.hpp"
+#include "net/faults.hpp"
+#include "net/resilience.hpp"
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
 #include "schemes/compact_diam2.hpp"

@@ -86,6 +86,15 @@ class RoutingScheme {
 
   /// Space used by this scheme under its model's accounting.
   [[nodiscard]] virtual SpaceReport space() const = 0;
+
+  /// The neighbours of `u` in the scheme's own port order — the
+  /// enumeration a deflection policy consults when the primary hop is
+  /// down. Schemes that do not expose a port assignment return empty, and
+  /// the carrier falls back to its model-II sorted neighbour view.
+  [[nodiscard]] virtual std::vector<NodeId> port_enumeration(NodeId u) const {
+    (void)u;
+    return {};
+  }
 };
 
 /// Full-information shortest path routing (§1): the function at u returns

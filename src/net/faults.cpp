@@ -1,0 +1,165 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/parallel.hpp"
+
+namespace optrt::net {
+
+namespace {
+
+/// Appends fail events for `edges` at opt.fail_time, plus one repair per
+/// edge at fail_time + repair_after when repairs are requested. Fails come
+/// before repairs at equal times by insertion order, so repair_after == 0
+/// stays "permanent" by convention rather than a same-instant no-op.
+FaultPlan plan_from_edges(const std::vector<std::pair<NodeId, NodeId>>& edges,
+                          const FaultOptions& opt) {
+  FaultPlan plan;
+  for (const auto& [u, v] : edges) {
+    plan.add({opt.fail_time, FaultKind::kLinkFail, u, v});
+  }
+  if (opt.repair_after > 0) {
+    for (const auto& [u, v] : edges) {
+      plan.add({opt.fail_time + opt.repair_after, FaultKind::kLinkRepair, u,
+                v});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::size_t FaultPlan::fail_count() const noexcept {
+  std::size_t count = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kLinkFail || e.kind == FaultKind::kNodeFail) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t FaultPlan::fingerprint() const noexcept {
+  std::uint64_t h = core::mix64(0x0f4a17e5u ^ events_.size());
+  for (const FaultEvent& e : events_) {
+    h = core::mix64(h ^ e.time);
+    h = core::mix64(h ^ (static_cast<std::uint64_t>(e.kind) << 62) ^
+                    (static_cast<std::uint64_t>(e.u) << 31) ^ e.v);
+  }
+  return h;
+}
+
+std::vector<std::pair<NodeId, NodeId>> edge_list(const graph::Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+FaultPlan uniform_link_faults(const graph::Graph& g, std::size_t count,
+                              const FaultOptions& opt) {
+  std::vector<std::pair<NodeId, NodeId>> edges = edge_list(g);
+  graph::Rng rng(core::mix64(opt.seed));
+  std::shuffle(edges.begin(), edges.end(), rng);
+  edges.resize(std::min(count, edges.size()));
+  return plan_from_edges(edges, opt);
+}
+
+FaultPlan targeted_link_faults(const graph::Graph& g, std::size_t count,
+                               const FaultOptions& opt) {
+  std::vector<std::pair<NodeId, NodeId>> edges = edge_list(g);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [&g](const auto& a, const auto& b) {
+                     const std::size_t da = g.degree(a.first) + g.degree(a.second);
+                     const std::size_t db = g.degree(b.first) + g.degree(b.second);
+                     if (da != db) return da > db;
+                     return a < b;
+                   });
+  edges.resize(std::min(count, edges.size()));
+  return plan_from_edges(edges, opt);
+}
+
+FaultPlan partition_link_faults(const graph::Graph& g, std::size_t count,
+                                const FaultOptions& opt) {
+  const std::size_t n = g.node_count();
+  graph::Rng rng(core::mix64(opt.seed));
+  // Seeded random bisection: shuffle the node ids, first half is S.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<bool> in_s(n, false);
+  for (std::size_t i = 0; i < n / 2; ++i) in_s[order[i]] = true;
+
+  std::vector<std::pair<NodeId, NodeId>> edges = edge_list(g);
+  std::shuffle(edges.begin(), edges.end(), rng);
+  std::stable_partition(edges.begin(), edges.end(), [&in_s](const auto& e) {
+    return in_s[e.first] != in_s[e.second];  // cut edges first
+  });
+  edges.resize(std::min(count, edges.size()));
+  return plan_from_edges(edges, opt);
+}
+
+FaultPlan uniform_node_faults(const graph::Graph& g, std::size_t count,
+                              const FaultOptions& opt) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::vector<NodeId> picked;
+  picked.reserve(std::min(count, n));
+  graph::Rng rng(core::mix64(opt.seed));
+  std::sample(nodes.begin(), nodes.end(), std::back_inserter(picked),
+              std::min(count, n), rng);
+  FaultPlan plan;
+  for (NodeId u : picked) plan.add({opt.fail_time, FaultKind::kNodeFail, u, u});
+  if (opt.repair_after > 0) {
+    for (NodeId u : picked) {
+      plan.add({opt.fail_time + opt.repair_after, FaultKind::kNodeRepair, u, u});
+    }
+  }
+  return plan;
+}
+
+FaultPlan make_fault_plan(const graph::Graph& g, FaultModel model,
+                          std::size_t count, const FaultOptions& opt) {
+  switch (model) {
+    case FaultModel::kUniform:
+      return uniform_link_faults(g, count, opt);
+    case FaultModel::kTargeted:
+      return targeted_link_faults(g, count, opt);
+    case FaultModel::kPartition:
+      return partition_link_faults(g, count, opt);
+    case FaultModel::kNodes:
+      return uniform_node_faults(g, count, opt);
+  }
+  return {};
+}
+
+const char* to_string(FaultModel model) noexcept {
+  switch (model) {
+    case FaultModel::kUniform:
+      return "uniform";
+    case FaultModel::kTargeted:
+      return "targeted";
+    case FaultModel::kPartition:
+      return "partition";
+    case FaultModel::kNodes:
+      return "nodes";
+  }
+  return "?";
+}
+
+std::optional<FaultModel> parse_fault_model(std::string_view name) noexcept {
+  if (name == "uniform") return FaultModel::kUniform;
+  if (name == "targeted") return FaultModel::kTargeted;
+  if (name == "partition") return FaultModel::kPartition;
+  if (name == "nodes") return FaultModel::kNodes;
+  return std::nullopt;
+}
+
+}  // namespace optrt::net

@@ -1,8 +1,10 @@
 #include "net/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <tuple>
 
+#include "graph/algorithms.hpp"
 #include "graph/encoding.hpp"
 #include "model/verifier.hpp"
 #include "schemes/full_information.hpp"
@@ -17,6 +19,10 @@ Simulator::Simulator(const graph::Graph& g, const model::RoutingScheme& scheme,
       config_(config) {
   if (config_.max_hops == 0) {
     config_.max_hops = model::default_hop_budget(g.node_count());
+  }
+  if (config_.resilience.policy != ResiliencePolicy::kNone) {
+    resilience_ =
+        std::make_unique<ResilienceEngine>(g, scheme, config_.resilience);
   }
 }
 
@@ -35,6 +41,12 @@ std::uint64_t Simulator::send(NodeId source, NodeId destination,
   return record.id;
 }
 
+void Simulator::schedule(const FaultPlan& plan) {
+  fault_schedule_.insert(fault_schedule_.end(), plan.events().begin(),
+                         plan.events().end());
+  fault_schedule_dirty_ = true;
+}
+
 void Simulator::fail_link(NodeId u, NodeId v) {
   failed_links_.insert(graph::edge_index(g_->node_count(), u, v));
 }
@@ -43,8 +55,35 @@ void Simulator::restore_link(NodeId u, NodeId v) {
   failed_links_.erase(graph::edge_index(g_->node_count(), u, v));
 }
 
+bool Simulator::node_up(NodeId u) const { return !failed_nodes_.contains(u); }
+
 bool Simulator::link_up(NodeId u, NodeId v) const {
-  return !failed_links_.contains(graph::edge_index(g_->node_count(), u, v));
+  return node_up(u) && node_up(v) &&
+         !failed_links_.contains(graph::edge_index(g_->node_count(), u, v));
+}
+
+void Simulator::apply_fault(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkFail:
+      fail_link(e.u, e.v);
+      break;
+    case FaultKind::kLinkRepair:
+      restore_link(e.u, e.v);
+      break;
+    case FaultKind::kNodeFail:
+      failed_nodes_.insert(e.u);
+      break;
+    case FaultKind::kNodeRepair:
+      failed_nodes_.erase(e.u);
+      break;
+  }
+}
+
+void Simulator::apply_faults_until(std::uint64_t now) {
+  while (fault_pos_ < fault_schedule_.size() &&
+         fault_schedule_[fault_pos_].time <= now) {
+    apply_fault(fault_schedule_[fault_pos_++]);
+  }
 }
 
 std::uint64_t Simulator::link_load(NodeId u, NodeId v) const {
@@ -55,6 +94,12 @@ std::uint64_t Simulator::link_load(NodeId u, NodeId v) const {
 
 std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
   const MessageRecord& record = records_[e.record_index];
+  const auto up = [this](NodeId a, NodeId b) { return link_up(a, b); };
+  if (record.used_fallback) {
+    // The message switched to sequential-search probing; the resilience
+    // engine owns its routing from here on.
+    return resilience_->fallback_hop(e.at, record.destination, e.header, up);
+  }
   const NodeId dest_label = scheme_->label_of(record.destination);
   if (full_info_ != nullptr) {
     // Full-information rerouting: mask the down ports and take any
@@ -87,9 +132,23 @@ std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
 
 SimulationStats Simulator::run() {
   SimulationStats stats;
+  if (fault_schedule_dirty_) {
+    // Stable: events at equal times keep their schedule() order, so a fail
+    // followed by a repair of the same link is a no-op.
+    std::stable_sort(
+        fault_schedule_.begin() + static_cast<std::ptrdiff_t>(fault_pos_),
+        fault_schedule_.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+    fault_schedule_dirty_ = false;
+  }
+  std::shared_ptr<const graph::DistanceMatrix> dist;
+  if (config_.measure_stretch) {
+    dist = graph::DistanceCache::global().get(*g_);
+  }
   while (!queue_.empty()) {
     Event e = queue_.top();
     queue_.pop();
+    apply_faults_until(e.time);
     MessageRecord& record = records_[e.record_index];
     if (e.at == record.destination) {
       record.delivered = true;
@@ -97,17 +156,50 @@ SimulationStats Simulator::run() {
       ++stats.delivered;
       stats.total_hops += record.hops;
       stats.makespan = std::max(stats.makespan, e.time);
+      if (dist != nullptr) {
+        stats.shortest_hops += dist->at(record.source, record.destination);
+      }
       continue;
     }
     if (record.hops >= config_.max_hops) {
       ++stats.dropped;
       continue;
     }
-    const std::optional<NodeId> hop = pick_next_hop(e);
+    std::optional<NodeId> hop = pick_next_hop(e);
+    bool deflected = false;
+    if (!hop.has_value() && resilience_ != nullptr) {
+      const auto up = [this](NodeId a, NodeId b) { return link_up(a, b); };
+      const ResilienceDecision decision = resilience_->on_blocked(
+          e.at, record.destination, e.header, record.retries,
+          record.used_fallback, up);
+      switch (decision.action) {
+        case ResilienceDecision::Action::kDrop:
+          break;
+        case ResilienceDecision::Action::kRetryLater:
+          ++record.retries;
+          ++stats.total_retries;
+          queue_.push(Event{e.time + decision.delay, next_seq_++,
+                            e.record_index, e.at, e.header});
+          continue;
+        case ResilienceDecision::Action::kForward:
+          hop = decision.next;
+          if (decision.entered_fallback) {
+            record.used_fallback = true;
+            ++stats.fallback_messages;
+          } else {
+            deflected = decision.deflected;
+          }
+          break;
+      }
+    }
     if (!hop.has_value()) {
       record.dropped_on_failure = true;
       ++stats.dropped;
       continue;
+    }
+    if (deflected) {
+      ++record.deflections;
+      ++stats.deflections;
     }
     ++record.hops;
     e.header.came_from = e.at;
@@ -124,6 +216,12 @@ SimulationStats Simulator::run() {
     queue_.push(Event{depart + config_.link_latency, next_seq_++,
                       e.record_index, *hop, e.header});
   }
+  // Topology changes beyond the last message still take effect, so the
+  // post-run link state matches the full plan.
+  if (fault_pos_ < fault_schedule_.size()) {
+    apply_faults_until(fault_schedule_.back().time);
+  }
+  stats.sent = stats.delivered + stats.dropped;
   return stats;
 }
 

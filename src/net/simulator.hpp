@@ -2,10 +2,16 @@
 // §1's routing model. Messages travel hop by hop; at each node the local
 // routing function picks the outgoing edge; the carrier maintains the
 // arrival link (`came_from`). Full-information schemes reroute around
-// failed links — the exact capability §1 motivates them with.
+// failed links — the exact capability §1 motivates them with; single-path
+// schemes can opt into the recovery policies of net/resilience.hpp.
+//
+// Topology changes arrive as a timed net/faults.hpp FaultPlan replayed by
+// the event loop (faults at time t apply before message hops at time t),
+// so the same seeded plan degrades every scheme identically.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <unordered_map>
@@ -14,6 +20,8 @@
 
 #include "graph/graph.hpp"
 #include "model/scheme.hpp"
+#include "net/faults.hpp"
+#include "net/resilience.hpp"
 
 namespace optrt::net {
 
@@ -29,6 +37,11 @@ struct SimulatorConfig {
   /// message per link_latency window; others queue FIFO. Makes hotspot
   /// concentration visible (e.g. Theorem 4's hub under load).
   bool serialize_links = false;
+  /// Recovery policy consulted when a message's primary hop is unusable.
+  ResilienceConfig resilience;
+  /// Accumulate pre-failure shortest-path distances of delivered messages
+  /// (SimulationStats::mean_stretch); costs one cached all-pairs BFS.
+  bool measure_stretch = false;
 };
 
 /// Outcome of one message.
@@ -38,22 +51,45 @@ struct MessageRecord {
   NodeId destination = 0;
   bool delivered = false;
   bool dropped_on_failure = false;  ///< no usable outgoing link
+  bool used_fallback = false;       ///< switched to sequential-search mode
+  std::uint32_t retries = 0;
+  std::uint32_t deflections = 0;
   std::size_t hops = 0;
   std::uint64_t send_time = 0;
   std::uint64_t arrival_time = 0;
 };
 
 struct SimulationStats {
+  std::size_t sent = 0;  ///< messages resolved this run (delivered+dropped)
   std::size_t delivered = 0;
   std::size_t dropped = 0;
   std::uint64_t total_hops = 0;
   std::uint64_t makespan = 0;       ///< last arrival time
   std::uint64_t max_link_load = 0;  ///< most messages over one directed link
+  // Degradation metrics under faults.
+  std::uint64_t total_retries = 0;      ///< retry re-presentations
+  std::uint64_t deflections = 0;        ///< rerouted (alternate-port) hops
+  std::size_t fallback_messages = 0;    ///< messages that entered fallback
+  std::uint64_t shortest_hops = 0;      ///< Σ pre-failure d(s,t), delivered
+                                        ///< (measure_stretch only)
 
   [[nodiscard]] double mean_hops() const noexcept {
     return delivered == 0
                ? 0.0
                : static_cast<double>(total_hops) / static_cast<double>(delivered);
+  }
+  /// Fraction of resolved messages delivered (1.0 when nothing was sent).
+  [[nodiscard]] double delivery_rate() const noexcept {
+    return sent == 0 ? 1.0
+                     : static_cast<double>(delivered) /
+                           static_cast<double>(sent);
+  }
+  /// Mean route length of delivered messages relative to the *pre-failure*
+  /// shortest path — the degradation stretch. 0 unless measure_stretch.
+  [[nodiscard]] double mean_stretch() const noexcept {
+    return shortest_hops == 0 ? 0.0
+                              : static_cast<double>(total_hops) /
+                                    static_cast<double>(shortest_hops);
   }
 };
 
@@ -67,16 +103,29 @@ class Simulator {
   std::uint64_t send(NodeId source, NodeId destination,
                      std::uint64_t at_time = 0);
 
-  /// Marks the undirected link {u, v} down / up.
+  /// Appends a fault plan's events to the replay schedule. Events at equal
+  /// times apply in plan order (stable), before message hops at that time.
+  void schedule(const FaultPlan& plan);
+
+  /// Marks the undirected link {u, v} down / up immediately.
   void fail_link(NodeId u, NodeId v);
   void restore_link(NodeId u, NodeId v);
+  /// True iff {u, v} is usable: the link itself and both endpoints are up.
   [[nodiscard]] bool link_up(NodeId u, NodeId v) const;
+  [[nodiscard]] bool node_up(NodeId u) const;
 
-  /// Runs until all in-flight messages are delivered or dropped.
+  /// Runs until all in-flight messages are delivered or dropped (any
+  /// scheduled faults beyond the last message still apply).
   SimulationStats run();
 
   [[nodiscard]] const std::vector<MessageRecord>& records() const noexcept {
     return records_;
+  }
+
+  /// Effective configuration (sentinels resolved; e.g. max_hops == 0 →
+  /// model::default_hop_budget(n)).
+  [[nodiscard]] const SimulatorConfig& config() const noexcept {
+    return config_;
   }
 
   /// Messages carried over the directed link u → v in past run() calls.
@@ -96,17 +145,27 @@ class Simulator {
   };
 
   /// Picks the next hop at `e.at`, honouring failures for full-information
-  /// schemes. Returns nullopt when the message must be dropped.
+  /// schemes and fallback mode. Returns nullopt when the message is
+  /// blocked (resilience policy decides its fate).
   [[nodiscard]] std::optional<NodeId> pick_next_hop(Event& e);
+
+  /// Applies every scheduled fault with time ≤ now.
+  void apply_faults_until(std::uint64_t now);
+  void apply_fault(const FaultEvent& e);
 
   const graph::Graph* g_;
   const model::RoutingScheme* scheme_;
   const model::FullInformationRouting* full_info_;  // non-null if capable
   SimulatorConfig config_;
+  std::unique_ptr<ResilienceEngine> resilience_;  // non-null if policy set
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<MessageRecord> records_;
+  std::vector<FaultEvent> fault_schedule_;  // stable-sorted by time on run
+  std::size_t fault_pos_ = 0;
+  bool fault_schedule_dirty_ = false;
   std::unordered_set<std::uint64_t> failed_links_;  // edge_index keys
+  std::unordered_set<NodeId> failed_nodes_;
   // serialize_links: earliest next departure per *directed* link.
   std::unordered_map<std::uint64_t, std::uint64_t> link_free_at_;
   // Messages per directed link (key: u·n + v), across runs.

@@ -58,6 +58,11 @@ NodeId FullInformationScheme::next_hop_avoiding(
   return kNoRoute;
 }
 
+std::vector<NodeId> FullInformationScheme::port_enumeration(NodeId u) const {
+  const auto ports = ports_.ports(u);
+  return {ports.begin(), ports.end()};
+}
+
 model::SpaceReport FullInformationScheme::space() const {
   model::SpaceReport report;
   report.function_bits.reserve(n_);

@@ -35,6 +35,7 @@ class FullInformationScheme final : public model::FullInformationRouting {
   [[nodiscard]] std::vector<NodeId> all_next_hops(
       NodeId u, NodeId dest_label) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  [[nodiscard]] std::vector<NodeId> port_enumeration(NodeId u) const override;
 
   /// Next hop avoiding the given down ports; returns kNoRoute if every
   /// shortest-path port toward the destination is down.

@@ -250,6 +250,11 @@ NodeId HierarchicalScheme::next_hop(NodeId u, NodeId dest_label,
   throw std::logic_error("HierarchicalScheme: unresolvable destination");
 }
 
+std::vector<NodeId> HierarchicalScheme::port_enumeration(NodeId u) const {
+  const auto ports = ports_.ports(u);
+  return {ports.begin(), ports.end()};
+}
+
 model::SpaceReport HierarchicalScheme::space() const {
   model::SpaceReport report;
   report.function_bits.reserve(n_);

@@ -61,6 +61,7 @@ class HierarchicalScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  [[nodiscard]] std::vector<NodeId> port_enumeration(NodeId u) const override;
 
   [[nodiscard]] std::size_t levels() const { return levels_; }
   [[nodiscard]] const std::vector<NodeId>& pivots(std::size_t level) const {

@@ -51,6 +51,12 @@ NodeId SequentialSearchScheme::next_hop(NodeId u, NodeId dest_label,
   }
 }
 
+std::vector<NodeId> SequentialSearchScheme::port_enumeration(NodeId u) const {
+  // Model II: ports follow the sorted neighbour list.
+  const auto nbrs = g_->neighbors(u);
+  return {nbrs.begin(), nbrs.end()};
+}
+
 model::SpaceReport SequentialSearchScheme::space() const {
   model::SpaceReport report;
   // The constant algorithm: zero stored bits at every node.

@@ -35,6 +35,7 @@ class SequentialSearchScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  [[nodiscard]] std::vector<NodeId> port_enumeration(NodeId u) const override;
 
   // Header phases.
   static constexpr std::uint32_t kAtSource = 0;

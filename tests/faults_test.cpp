@@ -1,0 +1,239 @@
+// Property tests for the fault-injection layer: per-seed bit-identical
+// plans and stats (at any thread count), fail+repair no-ops, nested
+// failure prefixes, and delivery monotonicity for full-information
+// routing. All randomness is seeded, so every property is checked
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "graph/generators.hpp"
+#include "net/faults.hpp"
+#include "net/simulator.hpp"
+#include "net/workload.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/full_information.hpp"
+#include "schemes/full_table.hpp"
+
+namespace optrt::net {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+std::string stats_key(const SimulationStats& s) {
+  std::ostringstream out;
+  out << s.sent << '|' << s.delivered << '|' << s.dropped << '|'
+      << s.total_hops << '|' << s.makespan << '|' << s.max_link_load << '|'
+      << s.total_retries << '|' << s.deflections << '|' << s.fallback_messages
+      << '|' << s.shortest_hops;
+  return out.str();
+}
+
+TEST(FaultPlan, SameSeedIsBitIdentical) {
+  const Graph g = certified(48, 1);
+  for (const FaultModel model :
+       {FaultModel::kUniform, FaultModel::kTargeted, FaultModel::kPartition,
+        FaultModel::kNodes}) {
+    const FaultPlan a = make_fault_plan(g, model, 40, {.seed = 7});
+    const FaultPlan b = make_fault_plan(g, model, 40, {.seed = 7});
+    EXPECT_EQ(a, b) << to_string(model);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << to_string(model);
+  }
+  // Seed-sensitive generators produce different plans for different seeds.
+  for (const FaultModel model :
+       {FaultModel::kUniform, FaultModel::kPartition, FaultModel::kNodes}) {
+    const FaultPlan a = make_fault_plan(g, model, 40, {.seed = 7});
+    const FaultPlan b = make_fault_plan(g, model, 40, {.seed = 8});
+    EXPECT_NE(a.fingerprint(), b.fingerprint()) << to_string(model);
+  }
+}
+
+TEST(FaultPlan, LinkFailuresAreRealEdgesAndDeduped) {
+  const Graph g = certified(48, 2);
+  for (const FaultModel model :
+       {FaultModel::kUniform, FaultModel::kTargeted, FaultModel::kPartition}) {
+    const FaultPlan plan = make_fault_plan(g, model, 100, {.seed = 3});
+    EXPECT_EQ(plan.fail_count(), 100u);
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (const FaultEvent& e : plan.events()) {
+      ASSERT_EQ(e.kind, FaultKind::kLinkFail);
+      EXPECT_TRUE(g.has_edge(e.u, e.v));
+      EXPECT_TRUE(seen.emplace(std::min(e.u, e.v), std::max(e.u, e.v)).second)
+          << "duplicate edge in " << to_string(model);
+    }
+  }
+  // Requests beyond |E| are clamped, not looped on.
+  const FaultPlan all =
+      uniform_link_faults(g, g.edge_count() * 10, {.seed = 4});
+  EXPECT_EQ(all.fail_count(), g.edge_count());
+}
+
+TEST(FaultPlan, UniformPlansAreNestedPerSeed) {
+  const Graph g = certified(48, 3);
+  const FaultPlan small = uniform_link_faults(g, 25, {.seed = 11});
+  const FaultPlan large = uniform_link_faults(g, 90, {.seed = 11});
+  ASSERT_GE(large.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small.events()[i], large.events()[i]);
+  }
+}
+
+TEST(FaultPlan, RepairScheduleMirrorsFailures) {
+  const Graph g = certified(48, 4);
+  const FaultPlan plan = uniform_link_faults(
+      g, 30, {.seed = 5, .fail_time = 10, .repair_after = 7});
+  EXPECT_EQ(plan.size(), 60u);
+  EXPECT_EQ(plan.fail_count(), 30u);
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind == FaultKind::kLinkFail) {
+      EXPECT_EQ(e.time, 10u);
+    } else {
+      ASSERT_EQ(e.kind, FaultKind::kLinkRepair);
+      EXPECT_EQ(e.time, 17u);
+    }
+  }
+}
+
+TEST(FaultPlan, FailThenRepairOfSameLinkIsNoOp) {
+  const Graph g = certified(48, 5);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  const auto traffic = all_pairs(48);
+
+  const auto run_with = [&](const FaultPlan& plan) {
+    Simulator sim(g, scheme, {.measure_stretch = true});
+    sim.schedule(plan);
+    for (const auto& [u, v] : traffic) sim.send(u, v, /*at_time=*/5);
+    return stats_key(sim.run());
+  };
+
+  // Same instant: fail immediately undone by repair (stable plan order).
+  FaultPlan same_instant;
+  same_instant.add({0, FaultKind::kLinkFail, 0, g.neighbors(0)[0]});
+  same_instant.add({0, FaultKind::kLinkRepair, 0, g.neighbors(0)[0]});
+  // Fail at 0, repair at 1 — all traffic flows at t >= 5, after the repair.
+  const FaultPlan repaired_before_traffic = uniform_link_faults(
+      g, 60, {.seed = 6, .fail_time = 0, .repair_after = 1});
+
+  const std::string baseline = run_with(FaultPlan{});
+  EXPECT_EQ(run_with(same_instant), baseline);
+  EXPECT_EQ(run_with(repaired_before_traffic), baseline);
+
+  Simulator sim(g, scheme);
+  sim.schedule(same_instant);
+  sim.run();
+  EXPECT_TRUE(sim.link_up(0, g.neighbors(0)[0]));
+}
+
+TEST(FaultPlan, NodeFaultIsolatesAndRepairRestores) {
+  const Graph g = graph::star(6);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  // Failing the hub (node 0) severs every leaf pair; repairing it at t=10
+  // lets later traffic through.
+  FaultPlan plan;
+  plan.add({0, FaultKind::kNodeFail, 0, 0});
+  plan.add({10, FaultKind::kNodeRepair, 0, 0});
+  Simulator sim(g, scheme);
+  sim.schedule(plan);
+  const auto blocked = sim.send(1, 2, 0);
+  const auto after_repair = sim.send(3, 4, 10);
+  const SimulationStats stats = sim.run();
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_FALSE(sim.records()[blocked].delivered);
+  EXPECT_TRUE(sim.records()[blocked].dropped_on_failure);
+  EXPECT_TRUE(sim.records()[after_repair].delivered);
+  EXPECT_TRUE(sim.node_up(0));
+}
+
+TEST(FaultSweep, StatsBitIdenticalAcrossThreadCounts) {
+  // The bench_failures shape in miniature: a seeded grid of (graph,
+  // fraction, scheme) cells, each deriving every input from its own
+  // SplitMix64 stream. The serialized stats vector must not depend on the
+  // worker count.
+  const std::vector<std::uint64_t> graph_seeds = {1, 2};
+  const std::vector<std::size_t> counts = {0, 60, 200};
+  const std::size_t cells = graph_seeds.size() * counts.size() * 2;
+
+  const auto sweep = [&](std::size_t threads) {
+    return core::parallel_map<std::string>(
+        threads, cells, [&](std::size_t idx) {
+          const std::size_t variant = idx % 2;
+          const std::size_t c = (idx / 2) % counts.size();
+          const std::uint64_t gs = graph_seeds[idx / (2 * counts.size())];
+          Rng rng(core::point_seed(17, 48, gs));
+          const Graph g = core::certified_random_graph(48, rng);
+          const FaultPlan plan = uniform_link_faults(
+              g, counts[c], {.seed = core::point_seed(17, gs, 1)});
+          Rng traffic_rng(core::point_seed(17, gs, 2));
+          const auto traffic = uniform_random(48, 500, traffic_rng);
+          std::unique_ptr<model::RoutingScheme> scheme;
+          if (variant == 0) {
+            scheme = std::make_unique<schemes::CompactDiam2Scheme>(
+                g, schemes::CompactDiam2Scheme::Options{});
+          } else {
+            scheme = std::make_unique<schemes::FullInformationScheme>(
+                schemes::FullInformationScheme::standard(g));
+          }
+          Simulator sim(g, *scheme, {.measure_stretch = true});
+          sim.schedule(plan);
+          for (const auto& [u, v] : traffic) sim.send(u, v);
+          return stats_key(sim.run());
+        });
+  };
+
+  const auto at1 = sweep(1);
+  EXPECT_EQ(sweep(2), at1);
+  EXPECT_EQ(sweep(8), at1);
+}
+
+TEST(FaultSweep, FullInformationDeliveryMonotoneInFailureCount) {
+  // Uniform plans are prefix-nested per seed, so growing the count only
+  // removes shortest-path edges — delivered pairs can only shrink.
+  for (const std::uint64_t graph_seed : {1ull, 2ull, 3ull}) {
+    const Graph g = certified(64, graph_seed);
+    const auto scheme = schemes::FullInformationScheme::standard(g);
+    const auto traffic = all_pairs(64);
+    std::size_t previous = traffic.size() + 1;
+    for (const std::size_t count : {0u, 40u, 80u, 160u, 320u}) {
+      Simulator sim(g, scheme);
+      sim.schedule(uniform_link_faults(g, count, {.seed = 21}));
+      for (const auto& [u, v] : traffic) sim.send(u, v);
+      const SimulationStats stats = sim.run();
+      EXPECT_LE(stats.delivered, previous)
+          << "graph seed " << graph_seed << ", count " << count;
+      previous = stats.delivered;
+    }
+  }
+}
+
+TEST(FaultModelNames, RoundTrip) {
+  for (const FaultModel model :
+       {FaultModel::kUniform, FaultModel::kTargeted, FaultModel::kPartition,
+        FaultModel::kNodes}) {
+    const auto parsed = parse_fault_model(to_string(model));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, model);
+  }
+  EXPECT_FALSE(parse_fault_model("meteor").has_value());
+}
+
+TEST(FaultPlan, TargetedAttackHitsHighestDegreeEdges) {
+  const Graph g = graph::star(8);  // hub 0: all edges share the hub
+  const FaultPlan plan = targeted_link_faults(g, 3, {.seed = 1});
+  ASSERT_EQ(plan.fail_count(), 3u);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_EQ(e.u, 0u);  // lexicographic tie-break keeps hub first
+  }
+}
+
+}  // namespace
+}  // namespace optrt::net

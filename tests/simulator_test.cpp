@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "graph/generators.hpp"
+#include "model/verifier.hpp"
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
 #include "schemes/full_information.hpp"
@@ -139,6 +140,42 @@ TEST(Simulator, HeaderStateTravelsWithTheMessage) {
   const SimulationStats stats = sim.run();
   EXPECT_EQ(stats.delivered, sent);
   EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(Simulator, MaxHopsZeroResolvesToDefaultBudget) {
+  const Graph g = graph::chain(12);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  // The 0 sentinel resolves to the shared verifier budget at construction.
+  Simulator defaulted(g, scheme);
+  EXPECT_EQ(defaulted.config().max_hops, model::default_hop_budget(12));
+  // An explicit budget is preserved verbatim, and binds: a 12-chain route
+  // of 11 hops dies under a budget of 3.
+  SimulatorConfig config;
+  config.max_hops = 3;
+  Simulator tight(g, scheme, config);
+  EXPECT_EQ(tight.config().max_hops, 3u);
+  tight.send(0, 11);
+  const SimulationStats stats = tight.run();
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(Simulator, SerializeLinksQueuesFifoPerLink) {
+  const Graph g = graph::star(4);
+  const auto scheme = schemes::FullTableScheme::standard(g);
+  SimulatorConfig config;
+  config.serialize_links = true;
+  Simulator sim(g, scheme, config);
+  // Both messages need hub link 1->0 at t=0; serialization admits them in
+  // send order, so the second waits one slot at every contended hop.
+  const auto first = sim.send(1, 2, 0);
+  const auto second = sim.send(1, 2, 0);
+  const SimulationStats stats = sim.run();
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(sim.records()[first].arrival_time, 2u);
+  EXPECT_EQ(sim.records()[second].arrival_time, 3u);
+  EXPECT_EQ(stats.makespan, 3u);
+  EXPECT_EQ(stats.max_link_load, 2u);
 }
 
 TEST(Simulator, MakespanIsLastArrival) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI driver: full build + test on the default preset, then targeted
 # sanitizer passes over the concurrency-sensitive suites (thread pool,
-# distance cache, sharded verifier) with ThreadSanitizer and
-# AddressSanitizer+UBSan. Mirrors what a GitHub Actions job would run.
+# distance cache, sharded verifier, fault-injection sweeps) with
+# ThreadSanitizer and AddressSanitizer+UBSan. Mirrors what a GitHub
+# Actions job would run. The fault suites are also tagged for quick
+# selection with `ctest -L faults`.
 #
 #   tools/ci.sh            # default + tsan + asan
 #   tools/ci.sh default    # just one stage
@@ -17,7 +19,8 @@ fi
 
 # The sanitizer stages only need the suites they gate on; building
 # everything under TSan would double CI time for no coverage.
-SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test)
+SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
+  faults_test resilience_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
