@@ -9,10 +9,8 @@
 // in grid order, so the output is bit-identical across reruns and
 // --threads values. Reproduce any row with:
 //   optrt_cli simulate <graph> <scheme> --fail-fraction F --fault-seed S …
-#include <iomanip>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string_view>
 #include <vector>
 
@@ -80,23 +78,22 @@ Row run_cell(std::uint64_t graph_seed, double fraction, const Variant& variant) 
   for (const auto& [u, v] : traffic) sim.send(u, v);
   const net::SimulationStats stats = sim.run();
 
-  std::ostringstream out;
-  out << std::fixed << std::setprecision(6);
-  out << "{\"bench\":\"bench_failures\",\"n\":" << kN
-      << ",\"graph_seed\":" << graph_seed << ",\"edges\":" << g.edge_count()
-      << ",\"fail_fraction\":" << fraction
-      << ",\"failed_links\":" << plan.fail_count()
-      << ",\"plan_fingerprint\":" << plan.fingerprint()
-      << ",\"scheme\":\"" << variant.scheme << "\",\"policy\":\""
-      << net::to_string(variant.policy) << "\",\"messages\":" << kMessages
-      << ",\"delivered\":" << stats.delivered
-      << ",\"dropped\":" << stats.dropped
-      << ",\"delivery_rate\":" << stats.delivery_rate()
-      << ",\"mean_hops\":" << stats.mean_hops()
-      << ",\"mean_stretch\":" << stats.mean_stretch()
-      << ",\"retries\":" << stats.total_retries
-      << ",\"deflections\":" << stats.deflections
-      << ",\"fallbacks\":" << stats.fallback_messages << "}";
+  // The stats block comes from net::write_stats_fields — the same pinned
+  // schema `optrt_cli simulate` prints, so rows from either tool join.
+  obs::JsonWriter out;
+  out.begin_object();
+  out.key("bench").value("bench_failures");
+  out.key("n").value(static_cast<std::uint64_t>(kN));
+  out.key("graph_seed").value(graph_seed);
+  out.key("edges").value(static_cast<std::uint64_t>(g.edge_count()));
+  out.key("fail_fraction").value(fraction);
+  out.key("failed_links").value(static_cast<std::uint64_t>(plan.fail_count()));
+  out.key("plan_fingerprint").value(plan.fingerprint());
+  out.key("scheme").value(variant.scheme);
+  out.key("policy").value(net::to_string(variant.policy));
+  out.key("messages").value(static_cast<std::uint64_t>(kMessages));
+  net::write_stats_fields(out, stats);
+  out.end_object();
   return Row{out.str(), stats.delivered};
 }
 
@@ -119,6 +116,18 @@ int main(int argc, char** argv) {
       });
 
   for (const Row& row : rows) std::cout << row.json << "\n";
+
+  // Trailer row: the merged metrics registry for the whole sweep. The
+  // shard merge is thread-count independent, so this line is as
+  // reproducible as the per-cell rows above it.
+  obs::JsonWriter trailer;
+  trailer.begin_object();
+  trailer.key("bench").value("bench_failures");
+  trailer.key("rows").value(static_cast<std::uint64_t>(cells));
+  trailer.key("threads").value(static_cast<std::uint64_t>(threads));
+  trailer.key("metrics").raw(obs::metrics_json(obs::MetricsRegistry::global()));
+  trailer.end_object();
+  std::cout << trailer.str() << "\n";
 
   // Shape check (the differential oracle of §1): at every failure level,
   // full information must deliver at least as much as the bare single-path

@@ -113,10 +113,20 @@ int main(int argc, char** argv) {
   const double serial_seconds = calibration(1);
   const double parallel_seconds = calibration(threads);
 
-  std::cout << "\n{\"bench\":\"bench_table1\",\"threads\":" << threads
-            << ",\"wall_seconds\":" << wall_seconds
-            << ",\"calibration\":{\"serial_seconds\":" << serial_seconds
-            << ",\"parallel_seconds\":" << parallel_seconds
-            << ",\"speedup\":" << serial_seconds / parallel_seconds << "}}\n";
+  obs::JsonWriter out;
+  out.begin_object();
+  out.key("bench").value("bench_table1");
+  out.key("threads").value(static_cast<std::uint64_t>(threads));
+  out.key("wall_seconds").value(wall_seconds);
+  out.key("calibration").begin_object();
+  out.key("serial_seconds").value(serial_seconds);
+  out.key("parallel_seconds").value(parallel_seconds);
+  out.key("speedup").value(serial_seconds / parallel_seconds);
+  out.end_object();
+  // Sweep/compile/verify counters accumulated across the whole run —
+  // wall_ns omitted, so the block is deterministic across thread counts.
+  out.key("metrics").raw(obs::metrics_json(obs::MetricsRegistry::global()));
+  out.end_object();
+  std::cout << "\n" << out.str() << "\n";
   return 0;
 }

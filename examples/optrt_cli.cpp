@@ -10,6 +10,8 @@
 //                      [--failures K | --fail-fraction F] [--fault-model M]
 //                      [--fault-seed S] [--repair-after T] [--policy P]
 //                      [--retries N] [--backoff B] [--serialize-links]
+//   optrt_cli sweep    [--ns 16,24,32] [--seeds 3] [--model M]
+//                      [--objective O] [--seed S]
 //
 // Families: uniform gnp:<p> chain ring complete star grid:<r>x<c>
 //           hypercube:<d> gb:<k>
@@ -18,8 +20,13 @@
 // Traffic:  uniform allpairs hotspot permutation
 // Faults:   uniform targeted partition nodes;  policies: none retry
 //           deflect fallback
+//
+// Observability (any command): --metrics-json FILE writes the merged
+// metrics registry (deterministic across --threads once wall_ns is
+// stripped); --trace-json FILE writes Chrome trace_event JSON viewable in
+// chrome://tracing or ui.perfetto.dev.
 #include <cstring>
-#include <iomanip>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -49,10 +56,14 @@ using namespace optrt;
       "      [--fault-seed S] [--repair-after T] [--policy "
       "none|retry|deflect|fallback]\n"
       "      [--retries N] [--backoff B] [--serialize-links]\n"
+      "  optrt_cli sweep [--ns 16,24,32] [--seeds 3] [--model II.alpha] "
+      "[--objective shortest]\n"
       "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
       "hypercube:<d> gb:<k>\n"
-      "global: --threads N (worker threads for verify/sizes; default "
-      "$OPTRT_THREADS or hardware)\n";
+      "global: --threads N (worker threads for verify/sizes/sweep; default "
+      "$OPTRT_THREADS or hardware)\n"
+      "        --metrics-json FILE   write merged metrics registry as JSON\n"
+      "        --trace-json FILE     write Chrome trace_event JSON\n";
   std::exit(2);
 }
 
@@ -75,6 +86,12 @@ struct Args {
   std::uint32_t retries = 4;
   std::uint64_t backoff = 2;
   bool serialize_links = false;
+  // sweep knobs.
+  std::string ns_list = "16,24,32";
+  std::size_t sweep_seeds = 3;
+  // observability outputs.
+  std::optional<std::string> metrics_json;
+  std::optional<std::string> trace_json;
 };
 
 Args parse(int argc, char** argv) {
@@ -118,6 +135,14 @@ Args parse(int argc, char** argv) {
       args.backoff = std::strtoull(next().c_str(), nullptr, 10);
     } else if (a == "--serialize-links") {
       args.serialize_links = true;
+    } else if (a == "--ns") {
+      args.ns_list = next();
+    } else if (a == "--seeds") {
+      args.sweep_seeds = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (a == "--metrics-json") {
+      args.metrics_json = next();
+    } else if (a == "--trace-json") {
+      args.trace_json = next();
     } else if (!a.empty() && a[0] == '-') {
       usage("unknown flag " + a);
     } else {
@@ -378,24 +403,93 @@ int cmd_simulate(const Args& args) {
   for (const auto& [u, v] : traffic) sim.send(u, v);
   const net::SimulationStats stats = sim.run();
 
-  std::cout << std::fixed << std::setprecision(6) << "{\"scheme\":\""
-            << scheme->name() << "\",\"fault_model\":\""
-            << net::to_string(*fault_model) << "\",\"fault_seed\":"
-            << args.fault_seed << ",\"failures\":" << plan.fail_count()
-            << ",\"plan_fingerprint\":" << plan.fingerprint()
-            << ",\"repair_after\":" << args.repair_after << ",\"policy\":\""
-            << net::to_string(*policy) << "\",\"messages\":" << traffic.size()
-            << ",\"delivered\":" << stats.delivered
-            << ",\"dropped\":" << stats.dropped
-            << ",\"delivery_rate\":" << stats.delivery_rate()
-            << ",\"mean_hops\":" << stats.mean_hops()
-            << ",\"mean_stretch\":" << stats.mean_stretch()
-            << ",\"makespan\":" << stats.makespan
-            << ",\"max_link_load\":" << stats.max_link_load
-            << ",\"retries\":" << stats.total_retries
-            << ",\"deflections\":" << stats.deflections
-            << ",\"fallbacks\":" << stats.fallback_messages << "}\n";
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("scheme").value(scheme->name());
+  w.key("fault_model").value(net::to_string(*fault_model));
+  w.key("fault_seed").value(args.fault_seed);
+  w.key("failures").value(static_cast<std::uint64_t>(plan.fail_count()));
+  w.key("plan_fingerprint").value(plan.fingerprint());
+  w.key("repair_after").value(args.repair_after);
+  w.key("policy").value(net::to_string(*policy));
+  w.key("messages").value(static_cast<std::uint64_t>(traffic.size()));
+  net::write_stats_fields(w, stats);
+  w.end_object();
+  std::cout << w.str() << "\n";
   return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.positional.empty()) usage("sweep takes no positional arguments");
+  std::vector<std::size_t> ns;
+  for (std::size_t pos = 0; pos < args.ns_list.size();) {
+    const std::size_t comma = args.ns_list.find(',', pos);
+    const std::string tok = args.ns_list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) ns.push_back(std::strtoul(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (ns.empty() || args.sweep_seeds == 0) {
+    usage("sweep needs non-empty --ns and --seeds >= 1");
+  }
+  const model::Model m = parse_model(args.model);
+  schemes::CompileOptions copt;
+  copt.objective = parse_objective(args.objective);
+
+  core::SweepOptions opt;
+  opt.base_seed = args.seed;
+  const auto points = core::sweep_certified(
+      ns, args.sweep_seeds,
+      [&](const graph::Graph& g) {
+        const auto scheme = schemes::compile(g, m, copt);
+        return static_cast<double>(scheme->space().total_bits());
+      },
+      opt);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("optrt.sweep.v1");
+  w.key("model").value(m.name());
+  w.key("objective").value(args.objective);
+  w.key("seeds").value(static_cast<std::uint64_t>(args.sweep_seeds));
+  w.key("base_seed").value(args.seed);
+  w.key("points").begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.key("n").value(static_cast<std::uint64_t>(p.n));
+    w.key("seed").value(p.seed);
+    w.key("total_bits").value(p.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("mean_total_bits").begin_object();
+  for (const std::size_t n : ns) {
+    w.key(std::to_string(n)).value(core::mean_at(points, n));
+  }
+  w.end_object();
+  w.end_object();
+  std::cout << w.str() << "\n";
+  return 0;
+}
+
+int dispatch(const std::string& command, const Args& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "compile") return cmd_compile(args);
+  if (command == "route") return cmd_route(args);
+  if (command == "verify") return cmd_verify(args);
+  if (command == "sizes") return cmd_sizes(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "sweep") return cmd_sweep(args);
+  usage("unknown command " + command);
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << text << "\n";
+  if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 }  // namespace
@@ -405,17 +499,35 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
+
+  // The trace doubles as the run's wall clock for the metrics wall_ns
+  // field; it only records spans while installed via TraceScope.
+  obs::Trace trace;
+  std::optional<obs::TraceScope> scope;
+  if (args.trace_json) scope.emplace(trace);
+
+  int rc = 0;
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "compile") return cmd_compile(args);
-    if (command == "route") return cmd_route(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "sizes") return cmd_sizes(args);
-    if (command == "simulate") return cmd_simulate(args);
+    rc = dispatch(command, args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  usage("unknown command " + command);
+  // Observability outputs are written even when the command reports
+  // failure (e.g. a failed verify): that is when they matter most.
+  try {
+    if (args.metrics_json) {
+      write_text_file(*args.metrics_json,
+                      obs::metrics_json(obs::MetricsRegistry::global(),
+                                        static_cast<std::int64_t>(trace.now_ns())));
+    }
+    if (args.trace_json) {
+      scope.reset();
+      write_text_file(*args.trace_json, trace.chrome_json());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return rc;
 }

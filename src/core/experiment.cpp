@@ -3,13 +3,21 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace optrt::core {
 
 graph::Graph certified_random_graph(std::size_t n, graph::Rng& rng, double c,
                                     int max_attempts) {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter attempts = reg.counter("core.certified_graph.attempts");
+  const obs::Counter rejects = reg.counter("core.certified_graph.rejects");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    attempts.inc();
     graph::Graph g = graph::random_uniform(n, rng);
     if (graph::certify(g, c).ok()) return g;
+    rejects.inc();
   }
   throw std::runtime_error("certified_random_graph: no certified G(n,1/2) in " +
                            std::to_string(max_attempts) + " attempts (n=" +
@@ -33,14 +41,19 @@ std::vector<SweepPoint> sweep_certified_seeded(
   // Flatten the (n, seed) grid so the pool balances across both axes; the
   // result lands at its grid index, so ordering never depends on threads.
   const std::size_t total = ns.size() * seeds;
+  obs::TraceSpan span("core.sweep");
+  const obs::Counter points = obs::counter("core.sweep.points");
   ThreadPool pool(opt.threads);
   return parallel_map<SweepPoint>(pool, total, [&](std::size_t idx) {
+    obs::TraceSpan point_span("core.sweep.point");
     const std::size_t n = ns[idx / seeds];
     const std::uint64_t seed = idx % seeds + 1;
     const std::uint64_t derived = point_seed(opt.base_seed, n, seed);
     graph::Rng rng(derived);
     const graph::Graph g = certified_random_graph(n, rng);
-    return SweepPoint{n, seed, measure(g, derived)};
+    SweepPoint result{n, seed, measure(g, derived)};
+    points.inc();
+    return result;
   });
 }
 

@@ -48,8 +48,12 @@
 #include "net/construction.hpp"
 #include "net/faults.hpp"
 #include "net/resilience.hpp"
+#include "net/sim_metrics.hpp"
 #include "net/simulator.hpp"
 #include "net/workload.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "schemes/compact_diam2.hpp"
 #include "schemes/compiler.hpp"
 #include "schemes/errors.hpp"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace optrt::graph {
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
@@ -101,6 +104,9 @@ DistanceCache::DistanceCache(std::size_t capacity)
 std::shared_ptr<const DistanceMatrix> DistanceCache::get(const Graph& g) {
   const GraphFingerprint key = fingerprint(g);
   std::shared_ptr<Entry> entry;
+  bool missed = false;
+  bool evicted = false;
+  std::size_t size_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -109,22 +115,36 @@ std::shared_ptr<const DistanceMatrix> DistanceCache::get(const Graph& g) {
       entry = std::make_shared<Entry>();
       entries_.emplace(key, std::make_pair(entry, lru_.begin()));
       ++misses_;
+      missed = true;
       if (entries_.size() > capacity_) {
         // Evict the least-recently-used entry; in-flight holders keep the
         // matrix alive through their shared_ptr.
         entries_.erase(lru_.back());
         lru_.pop_back();
+        evicted = true;
       }
     } else {
       entry = it->second.first;
       lru_.splice(lru_.begin(), lru_, it->second.second);
       ++hits_;
     }
+    size_after = entries_.size();
   }
+  // Registry updates happen outside the cache lock: obs takes its own
+  // mutex and must never nest inside ours.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter(missed ? "graph.distance_cache.misses"
+                     : "graph.distance_cache.hits")
+      .inc();
+  if (evicted) reg.counter("graph.distance_cache.evictions").inc();
+  reg.gauge("graph.distance_cache.size")
+      .set(static_cast<std::int64_t>(size_after));
   // BFS runs outside the cache lock; call_once makes concurrent misses on
   // the same graph compute it exactly once.
-  std::call_once(entry->once,
-                 [&] { entry->dist = std::make_shared<DistanceMatrix>(g); });
+  std::call_once(entry->once, [&] {
+    obs::TraceSpan span("graph.distance_matrix.build");
+    entry->dist = std::make_shared<DistanceMatrix>(g);
+  });
   return entry->dist;
 }
 

@@ -5,6 +5,8 @@
 
 #include "core/parallel.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace optrt::model {
 
@@ -122,13 +124,26 @@ VerificationResult verify_scheme(const graph::Graph& g,
                                  const RoutingScheme& scheme,
                                  std::size_t hop_budget, std::size_t threads) {
   if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  obs::TraceSpan span("model.verify_scheme");
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter pairs = reg.counter("model.verifier.pairs_checked");
+  const obs::Histogram route_edges =
+      reg.histogram("model.verifier.source_route_edges", obs::hop_buckets());
   const auto dist = graph::DistanceCache::global().get(g);
   core::ThreadPool pool(threads);
+  // The per-shard counter/histogram updates below run on pool workers; the
+  // registry's shard merge keeps their totals bit-identical at any thread
+  // count (tests/obs_test.cpp pins this at 1/2/8).
   const auto accums = core::parallel_map<SourceAccum>(
       pool, g.node_count(), [&](std::size_t u) {
-        return verify_from_source(g, scheme, *dist,
-                                  static_cast<NodeId>(u), hop_budget);
+        const SourceAccum acc = verify_from_source(
+            g, scheme, *dist, static_cast<NodeId>(u), hop_budget);
+        pairs.inc(acc.pairs_checked);
+        route_edges.observe(acc.total_route_edges);
+        return acc;
       });
+  reg.counter("model.verifier.runs").inc();
+  reg.counter("model.verifier.shards_merged").inc(accums.size());
   return finish(accums);
 }
 

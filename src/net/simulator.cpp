@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "graph/algorithms.hpp"
 #include "graph/encoding.hpp"
 #include "model/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "schemes/full_information.hpp"
 
 namespace optrt::net {
@@ -132,6 +135,21 @@ std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
 
 SimulationStats Simulator::run() {
   SimulationStats stats;
+  // The event loop is strictly sequential, so fine-grained increments are
+  // as deterministic as the loop itself; all handles target the global
+  // registry resolved once per run.
+  obs::TraceSpan span("net.simulator.run");
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter c_hops = reg.counter("sim.hops");
+  const obs::Counter c_delivered = reg.counter("sim.delivered");
+  const obs::Counter c_dropped = reg.counter("sim.dropped");
+  const obs::Counter c_retries = reg.counter("sim.retries");
+  const obs::Counter c_deflections = reg.counter("sim.deflections");
+  const obs::Counter c_fallbacks = reg.counter("sim.fallback_messages");
+  const obs::Histogram h_delivered_hops =
+      reg.histogram("sim.delivered_hops", obs::hop_buckets());
+  const std::size_t faults_before = fault_pos_;
+  std::size_t queue_peak = queue_.size();
   if (fault_schedule_dirty_) {
     // Stable: events at equal times keep their schedule() order, so a fail
     // followed by a repair of the same link is a no-op.
@@ -146,6 +164,7 @@ SimulationStats Simulator::run() {
     dist = graph::DistanceCache::global().get(*g_);
   }
   while (!queue_.empty()) {
+    queue_peak = std::max(queue_peak, queue_.size());
     Event e = queue_.top();
     queue_.pop();
     apply_faults_until(e.time);
@@ -154,6 +173,8 @@ SimulationStats Simulator::run() {
       record.delivered = true;
       record.arrival_time = e.time;
       ++stats.delivered;
+      c_delivered.inc();
+      h_delivered_hops.observe(record.hops);
       stats.total_hops += record.hops;
       stats.makespan = std::max(stats.makespan, e.time);
       if (dist != nullptr) {
@@ -163,6 +184,7 @@ SimulationStats Simulator::run() {
     }
     if (record.hops >= config_.max_hops) {
       ++stats.dropped;
+      c_dropped.inc();
       continue;
     }
     std::optional<NodeId> hop = pick_next_hop(e);
@@ -178,6 +200,7 @@ SimulationStats Simulator::run() {
         case ResilienceDecision::Action::kRetryLater:
           ++record.retries;
           ++stats.total_retries;
+          c_retries.inc();
           queue_.push(Event{e.time + decision.delay, next_seq_++,
                             e.record_index, e.at, e.header});
           continue;
@@ -186,6 +209,7 @@ SimulationStats Simulator::run() {
           if (decision.entered_fallback) {
             record.used_fallback = true;
             ++stats.fallback_messages;
+            c_fallbacks.inc();
           } else {
             deflected = decision.deflected;
           }
@@ -195,13 +219,16 @@ SimulationStats Simulator::run() {
     if (!hop.has_value()) {
       record.dropped_on_failure = true;
       ++stats.dropped;
+      c_dropped.inc();
       continue;
     }
     if (deflected) {
       ++record.deflections;
       ++stats.deflections;
+      c_deflections.inc();
     }
     ++record.hops;
+    c_hops.inc();
     e.header.came_from = e.at;
     const std::uint64_t key =
         static_cast<std::uint64_t>(e.at) * g_->node_count() + *hop;
@@ -222,6 +249,13 @@ SimulationStats Simulator::run() {
     apply_faults_until(fault_schedule_.back().time);
   }
   stats.sent = stats.delivered + stats.dropped;
+  reg.counter("sim.sent").inc(stats.sent);
+  reg.counter("sim.runs").inc();
+  reg.counter(std::string("sim.runs.policy.") +
+              to_string(config_.resilience.policy))
+      .inc();
+  reg.counter("sim.fault_events").inc(fault_pos_ - faults_before);
+  reg.gauge("sim.queue_peak").set(static_cast<std::int64_t>(queue_peak));
   return stats;
 }
 

@@ -1,0 +1,487 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace optrt::obs {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+[[noreturn]] void fail_at(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("parse_json: " + what + " at byte " +
+                           std::to_string(pos));
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail_at(pos, "unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c) {
+      fail_at(pos, std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text.substr(pos, w.size()) == w) {
+      pos += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint32_t hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos >= text.size()) fail_at(pos, "truncated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail_at(pos - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail_at(pos, "unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail_at(pos - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail_at(pos, "truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair.
+            if (!consume('\\') || !consume('u')) {
+              fail_at(pos, "unpaired surrogate");
+            }
+            const std::uint32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail_at(pos, "bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail_at(pos, "stray low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail_at(pos - 1, "unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    const bool negative = consume('-');
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0)) {
+      ++pos;
+    }
+    bool integral = true;
+    if (pos < text.size() && (text[pos] == '.')) {
+      integral = false;
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+        ++pos;
+      }
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty() || token == "-") fail_at(start, "malformed number");
+    JsonValue v;
+    if (integral && !negative) {
+      v.kind = JsonValue::Kind::kUInt;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(),
+                                       v.uint_value);
+      if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+        fail_at(start, "integer out of range");
+      }
+      v.double_value = static_cast<double>(v.uint_value);
+      return v;
+    }
+    if (integral) {
+      v.kind = JsonValue::Kind::kInt;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(),
+                                       v.int_value);
+      if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+        fail_at(start, "integer out of range");
+      }
+      v.double_value = static_cast<double>(v.int_value);
+      return v;
+    }
+    v.kind = JsonValue::Kind::kDouble;
+    const auto res = std::from_chars(token.data(), token.data() + token.size(),
+                                     v.double_value);
+    if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+      fail_at(start, "malformed number");
+    }
+    return v;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 128) fail_at(pos, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (consume(',')) continue;
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      while (true) {
+        v.array.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (consume(',')) continue;
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string_value = parse_string();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    return parse_number();
+  }
+};
+
+void dump_value(std::string& out, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::kUInt: out += std::to_string(v.uint_value); break;
+    case JsonValue::Kind::kInt: out += std::to_string(v.int_value); break;
+    case JsonValue::Kind::kDouble: append_number(out, v.double_value); break;
+    case JsonValue::Kind::kString:
+      out.push_back('"');
+      append_escaped(out, v.string_value);
+      out.push_back('"');
+      break;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(out, e);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        append_escaped(out, k);
+        out += "\":";
+        dump_value(out, e);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out.push_back(kHexDigits[u >> 4]);
+          out.push_back(kHexDigits[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  append_escaped(out, s);
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    if (!expect_key_) {
+      throw std::logic_error("JsonWriter: value without key inside object");
+    }
+    expect_key_ = false;
+    return;
+  }
+  if (!first_.back()) out_.push_back(',');
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expect_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expect_key_) {
+    throw std::logic_error("JsonWriter: key outside object or repeated");
+  }
+  if (!first_.back()) out_.push_back(',');
+  first_.back() = false;
+  out_.push_back('"');
+  append_escaped(out_, k);
+  out_ += "\":";
+  expect_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_.push_back('"');
+  append_escaped(out_, v);
+  out_.push_back('"');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  append_number(out_, v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  before_value();
+  out_ += fragment;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unterminated containers");
+  }
+  return out_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::as_double() const {
+  switch (kind) {
+    case Kind::kUInt: return static_cast<double>(uint_value);
+    case Kind::kInt: return static_cast<double>(int_value);
+    case Kind::kDouble: return double_value;
+    default: return 0.0;
+  }
+}
+
+JsonValue parse_json(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) fail_at(p.pos, "trailing garbage");
+  return v;
+}
+
+std::string dump_json(const JsonValue& v) {
+  std::string out;
+  dump_value(out, v);
+  return out;
+}
+
+}  // namespace optrt::obs

@@ -1,0 +1,102 @@
+// Minimal JSON tooling for the observability layer: an ordered streaming
+// writer (the single escaping implementation behind every JSON line the
+// repo prints) and a strict recursive-descent parser used by the tests to
+// assert that emitted metrics parse back losslessly.
+//
+// Integers are preserved exactly (uint64/int64), doubles are printed with
+// std::to_chars shortest round-trip form, so serializing the same values
+// always yields the same bytes — the property the determinism contract in
+// EXPERIMENTS.md leans on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace optrt::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters as \uXXXX or the short forms). Non-ASCII bytes pass
+/// through untouched: the writer emits UTF-8 JSON.
+void append_escaped(std::string& out, std::string_view s);
+
+/// `s` as a quoted JSON string literal.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Streaming JSON writer with automatic comma placement. Keys and values
+/// must alternate correctly inside objects; misuse throws std::logic_error
+/// (cheap insurance that bench/CLI output stays well-formed).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& null();
+  /// Splices a pre-rendered JSON fragment in value position (e.g. an
+  /// embedded metrics document).
+  JsonWriter& raw(std::string_view fragment);
+
+  /// The document so far. Throws if containers are still open.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;
+  bool expect_key_ = false;
+  bool done_ = false;
+};
+
+/// Parsed JSON tree. Objects preserve key order, so dump(parse(x)) keeps
+/// the writer's deterministic ordering.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kUInt,    ///< non-negative integer literal, exact
+    kInt,     ///< negative integer literal, exact
+    kDouble,  ///< anything with a fraction or exponent
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::uint64_t uint_value = 0;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Numeric value as double regardless of integer kind.
+  [[nodiscard]] double as_double() const;
+};
+
+/// Parses a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Re-serializes a parsed tree, preserving object key order and exact
+/// integer values.
+[[nodiscard]] std::string dump_json(const JsonValue& v);
+
+}  // namespace optrt::obs

@@ -1,0 +1,211 @@
+// Deterministic metrics registry: named counters, gauges, and fixed-bucket
+// histograms, thread-safe via per-thread shards.
+//
+// Each thread that touches a registry gets its own shard of relaxed-atomic
+// slots; reads (snapshots) merge the shards under the registry lock. The
+// merge is *shard-order independent* — counters and histogram buckets are
+// integer sums (commutative), gauges merge by maximum — so any quantity a
+// parallel run records is bit-identical for every `--threads` value as
+// long as the underlying work is deterministic. That is the determinism
+// contract the `obs`-labelled tests enforce at 1/2/8 threads, and it is
+// why no wall-clock time ever enters a registry: timing lives in
+// obs/trace.hpp, where nondeterminism is expected and quarantined.
+//
+// Handles (Counter/Gauge/Histogram) are trivially copyable, cheap to pass
+// around, and valid for the lifetime of their registry. A default-
+// constructed handle is a no-op sink.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace optrt::obs {
+
+class MetricsRegistry;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+namespace detail {
+struct MetricInfo {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint32_t slot = 0;   ///< first slot in every shard
+  std::uint32_t slots = 1;  ///< contiguous slot count
+  std::vector<std::uint64_t> bounds;  ///< histogram upper bounds (inclusive)
+};
+}  // namespace detail
+
+/// Monotone counter of unsigned integers; merge = sum over shards.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, const detail::MetricInfo* info)
+      : reg_(reg), info_(info) {}
+  MetricsRegistry* reg_ = nullptr;
+  const detail::MetricInfo* info_ = nullptr;
+};
+
+/// Last-set signed value per shard; merge = maximum over shards that ever
+/// set it (0 when none did). Deterministic for monotone quantities
+/// (high-water marks, cache sizes); prefer counters for everything else.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, const detail::MetricInfo* info)
+      : reg_(reg), info_(info) {}
+  MetricsRegistry* reg_ = nullptr;
+  const detail::MetricInfo* info_ = nullptr;
+};
+
+/// Fixed-bucket histogram over unsigned values. Bucket i counts
+/// observations v with v <= bounds[i] (first match); one overflow bucket
+/// catches the rest. Also accumulates the exact sum of observations.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t v) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, const detail::MetricInfo* info)
+      : reg_(reg), info_(info) {}
+  MetricsRegistry* reg_ = nullptr;
+  const detail::MetricInfo* info_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last = overflow)
+  std::uint64_t sum = 0;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    return total;
+  }
+};
+
+/// Merged, name-sorted view of a registry — deterministic by construction.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Opaque per-thread slot storage (defined in metrics.cpp).
+  struct Shard;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a metric and returns its handle. Re-registering
+  /// an existing name with a different kind — or a histogram with
+  /// different bounds — throws std::logic_error.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  /// Merged value of one metric (0 / empty when never registered).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const;
+  [[nodiscard]] HistogramSnapshot histogram_value(std::string_view name) const;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every slot in every shard. Registrations (and outstanding
+  /// handles) stay valid. Callers must quiesce concurrent writers first.
+  void reset();
+
+  /// The process-wide registry all library instrumentation records into —
+  /// either the default instance or the innermost live ScopedRegistry.
+  static MetricsRegistry& global();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  friend class ScopedRegistry;
+
+  detail::MetricInfo* register_metric(std::string_view name, MetricKind kind,
+                                      std::uint32_t slots,
+                                      std::vector<std::uint64_t> bounds);
+  [[nodiscard]] const detail::MetricInfo* find_metric(
+      std::string_view name) const;
+  Shard& local_shard() const;
+  /// Slot `index` of the calling thread's shard, growing the shard under
+  /// the registry lock if needed.
+  std::atomic<std::uint64_t>& slot(Shard& shard, std::uint32_t index) const;
+  [[nodiscard]] std::uint64_t sum_slot_locked(std::uint32_t index) const;
+
+  const std::uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::MetricInfo>> metrics_;
+  std::unordered_map<std::string_view, detail::MetricInfo*> by_name_;
+  std::uint32_t next_slot_ = 0;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Swaps a fresh registry in as MetricsRegistry::global() for this scope —
+/// how tests (and the golden-snapshot CI check) isolate instrumentation
+/// from whatever the process recorded before. Install/restore is not
+/// synchronized against concurrent global() users; create and destroy it
+/// only while no instrumented worker threads are running.
+class ScopedRegistry {
+ public:
+  ScopedRegistry();
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return *registry_; }
+
+ private:
+  std::unique_ptr<MetricsRegistry> registry_;
+  MetricsRegistry* previous_;
+};
+
+/// Convenience handles on the global registry.
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Gauge gauge(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name,
+                                  std::vector<std::uint64_t> bounds);
+
+/// Power-of-two-ish buckets for hop/route-length histograms.
+[[nodiscard]] std::vector<std::uint64_t> hop_buckets();
+
+/// The registry as a deterministic JSON document:
+///   {"schema":"optrt.metrics.v1","counters":{...},"gauges":{...},
+///    "histograms":{"name":{"bounds":[...],"counts":[...],"sum":S,"count":N}}
+///    [,"wall_ns":W]}
+/// Names are sorted, values are exact integers; the only nondeterministic
+/// field is the optional trailing wall_ns (omitted when `wall_ns` < 0) —
+/// strip it and the document is a determinism fingerprint.
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap,
+                                       std::int64_t wall_ns = -1);
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& reg,
+                                       std::int64_t wall_ns = -1);
+
+/// FNV-1a over metrics_json(reg) without wall time: equal across runs and
+/// thread counts iff the recorded work was deterministic.
+[[nodiscard]] std::uint64_t metrics_fingerprint(const MetricsRegistry& reg);
+
+}  // namespace optrt::obs

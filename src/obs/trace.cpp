@@ -1,0 +1,162 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace optrt::obs {
+
+namespace {
+
+std::atomic<Trace*> g_current_trace{nullptr};
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+// Span nesting depth of the calling thread (across whatever trace is
+// current — one trace is active at a time in practice).
+thread_local std::uint32_t t_span_depth = 0;
+
+// Per-thread tid assignments keyed by trace id (ids never reused).
+thread_local std::unordered_map<std::uint64_t, std::uint32_t> t_trace_tids;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Trace::Trace()
+    : id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(steady_now_ns()) {}
+
+std::uint64_t Trace::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+std::uint32_t Trace::thread_id() const {
+  const auto it = t_trace_tids.find(id_);
+  if (it != t_trace_tids.end()) return it->second;
+  const std::uint32_t tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  t_trace_tids.emplace(id_, tid);
+  return tid;
+}
+
+void Trace::record(std::string name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns, std::uint32_t tid,
+                   std::uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::move(name), tid, depth, start_ns, dur_ns});
+}
+
+std::size_t Trace::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<Trace::Event> Trace::events() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<Trace::SummaryRow> Trace::summary() const {
+  std::map<std::string, SummaryRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Event& e : events_) {
+      SummaryRow& row = rows[e.name];
+      row.name = e.name;
+      ++row.count;
+      row.total_ns += e.dur_ns;
+      row.max_ns = std::max(row.max_ns, e.dur_ns);
+    }
+  }
+  std::vector<SummaryRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+std::string Trace::summary_json(bool include_wall_times) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("spans").begin_object();
+  for (const SummaryRow& row : summary()) {
+    w.key(row.name).begin_object();
+    w.key("count").value(row.count);
+    if (include_wall_times) {
+      w.key("total_ns").value(row.total_ns);
+      w.key("max_ns").value(row.max_ns);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string Trace::chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const Event& e : events()) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("ph").value("X");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(std::uint64_t{e.tid});
+    w.key("ts").value(static_cast<double>(e.start_ns) / 1000.0);
+    w.key("dur").value(static_cast<double>(e.dur_ns) / 1000.0);
+    w.key("args").begin_object();
+    w.key("depth").value(std::uint64_t{e.depth});
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Trace* current_trace() noexcept {
+  return g_current_trace.load(std::memory_order_acquire);
+}
+
+TraceScope::TraceScope(Trace& t) noexcept
+    : previous_(g_current_trace.load(std::memory_order_acquire)) {
+  g_current_trace.store(&t, std::memory_order_release);
+}
+
+TraceScope::~TraceScope() {
+  g_current_trace.store(previous_, std::memory_order_release);
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : TraceSpan(current_trace(), name) {}
+
+TraceSpan::TraceSpan(Trace* trace, const char* name) noexcept
+    : trace_(trace), name_(name) {
+  if (trace_ == nullptr) return;
+  depth_ = t_span_depth++;
+  start_ns_ = trace_->now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  --t_span_depth;
+  const std::uint64_t dur = trace_->now_ns() - start_ns_;
+  trace_->record(name_, start_ns_, dur, trace_->thread_id(), depth_);
+}
+
+}  // namespace optrt::obs

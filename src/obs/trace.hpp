@@ -1,0 +1,112 @@
+// Timing spans, quarantined from the deterministic metrics registry.
+//
+// A Trace collects completed spans (name, thread, nesting depth, steady-
+// clock start/duration). TraceSpan is the RAII recorder: construct it at
+// the top of a scope and the span lands in the current trace when the
+// scope exits. When no trace is installed every span is a no-op costing
+// one relaxed atomic load — instrumentation can stay in hot paths
+// unconditionally.
+//
+// Serialization is two-faced on purpose:
+//   * chrome_json()  — full per-event Chrome trace_event JSON, loadable in
+//     chrome://tracing or https://ui.perfetto.dev (wall times, inherently
+//     nondeterministic);
+//   * summary_json(include_wall_times=false) — per-name span *counts*
+//     only, which are deterministic whenever the traced work is, and so
+//     may be compared across runs and thread counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optrt::obs {
+
+class Trace {
+ public:
+  struct Event {
+    std::string name;
+    std::uint32_t tid = 0;    ///< per-trace sequential thread id
+    std::uint32_t depth = 0;  ///< nesting depth on that thread
+    std::uint64_t start_ns = 0;  ///< steady time since trace construction
+    std::uint64_t dur_ns = 0;
+  };
+
+  struct SummaryRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t tid, std::uint32_t depth);
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Completed events, sorted by (start_ns, tid) for stable output.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Per-name aggregates, name-sorted.
+  [[nodiscard]] std::vector<SummaryRow> summary() const;
+
+  /// {"spans":{"name":{"count":N[,"total_ns":T,"max_ns":M]}}} — with wall
+  /// times excluded the document is deterministic (counts only).
+  [[nodiscard]] std::string summary_json(bool include_wall_times) const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) with complete ("X")
+  /// events; microsecond timestamps relative to trace construction.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Nanoseconds of steady clock since this trace was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Sequential id of the calling thread within this trace.
+  [[nodiscard]] std::uint32_t thread_id() const;
+
+ private:
+  const std::uint64_t id_;
+  const std::uint64_t epoch_ns_;  ///< steady_clock at construction
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  mutable std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// The trace spans currently record into (nullptr = spans disabled).
+[[nodiscard]] Trace* current_trace() noexcept;
+
+/// Installs `t` as the current trace for this scope, restoring the
+/// previous trace on destruction. Not synchronized against concurrently
+/// running instrumented threads — install before spawning workers.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace& t) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* previous_;
+};
+
+/// RAII span. `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(Trace* trace, const char* name) noexcept;
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace optrt::obs

@@ -4,6 +4,8 @@
 
 #include "graph/labeling.hpp"
 #include "graph/ports.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "schemes/compact_diam2.hpp"
 #include "schemes/errors.hpp"
 #include "schemes/full_information.hpp"
@@ -33,6 +35,8 @@ std::unique_ptr<model::RoutingScheme> full_table_for(const graph::Graph& g,
 std::unique_ptr<model::RoutingScheme> compile(const graph::Graph& g,
                                               const model::Model& m,
                                               const CompileOptions& opt) {
+  obs::TraceSpan span("schemes.compile");
+  obs::counter("schemes.compiled").inc();
   try {
     switch (opt.objective) {
       case Objective::kShortestPath:
@@ -70,6 +74,7 @@ std::unique_ptr<model::RoutingScheme> compile(const graph::Graph& g,
     }
   } catch (const SchemeInapplicable&) {
     if (!opt.allow_fallback) throw;
+    obs::counter("schemes.compile.fallbacks").inc();
     return full_table_for(g, m, opt.port_seed);
   }
   throw std::logic_error("compile: unknown objective");

@@ -5,6 +5,7 @@
 
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
+#include "obs/metrics.hpp"
 
 namespace optrt::schemes {
 
@@ -12,6 +13,22 @@ namespace {
 
 using bitio::BitReader;
 using bitio::BitWriter;
+
+/// Every serialize()/deserialize_*() entry point funnels through these two,
+/// so `schemes.artifact.bits_out` / `bits_in` account for exactly the
+/// artifact bits that crossed the codec boundary.
+bitio::BitVector record_serialize(bitio::BitVector bits) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("schemes.artifact.serializes").inc();
+  reg.counter("schemes.artifact.bits_out").inc(bits.size());
+  return bits;
+}
+
+void record_deserialize(const bitio::BitVector& artifact) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("schemes.artifact.deserializes").inc();
+  reg.counter("schemes.artifact.bits_in").inc(artifact.size());
+}
 
 void write_header(BitWriter& w, SchemeKind kind, std::size_t n) {
   w.write_bits(kArtifactMagic, 32);
@@ -55,11 +72,12 @@ bitio::BitVector serialize(const CompactDiam2Scheme& scheme) {
   for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 CompactDiam2Scheme deserialize_compact_diam2(const bitio::BitVector& artifact,
                                              const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kCompactDiam2) {
@@ -101,11 +119,12 @@ bitio::BitVector serialize(const FullTableScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 FullTableScheme deserialize_full_table(const bitio::BitVector& artifact,
                                        const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kFullTable) {
@@ -146,11 +165,12 @@ bitio::BitVector serialize(const HubScheme& scheme) {
   for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 HubScheme deserialize_hub(const bitio::BitVector& artifact,
                           const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kHub) {
@@ -177,11 +197,12 @@ bitio::BitVector serialize(const RoutingCenterScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 RoutingCenterScheme deserialize_routing_center(const bitio::BitVector& artifact,
                                                const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kRoutingCenter) {
@@ -210,11 +231,12 @@ bitio::BitVector serialize(const LandmarkScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 LandmarkScheme deserialize_landmark(const bitio::BitVector& artifact,
                                     const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kLandmark) {
@@ -246,11 +268,12 @@ bitio::BitVector serialize(const HierarchicalScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return w.take();
+  return record_serialize(w.take());
 }
 
 HierarchicalScheme deserialize_hierarchical(const bitio::BitVector& artifact,
                                             const graph::Graph& g) {
+  record_deserialize(artifact);
   BitReader r(artifact);
   const Header h = read_header(r);
   if (h.kind != SchemeKind::kHierarchical) {
@@ -320,6 +343,7 @@ bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes) {
 }
 
 void save_artifact(const std::string& path, const bitio::BitVector& bits) {
+  obs::counter("schemes.artifact.saves").inc();
   const auto bytes = to_bytes(bits);
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_artifact: cannot open " + path);
@@ -329,6 +353,7 @@ void save_artifact(const std::string& path, const bitio::BitVector& bits) {
 }
 
 bitio::BitVector load_artifact(const std::string& path) {
+  obs::counter("schemes.artifact.loads").inc();
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_artifact: cannot open " + path);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),

@@ -14,6 +14,8 @@
 #include "incompressibility/enumerative.hpp"
 #include "incompressibility/lemma_codecs.hpp"
 #include "model/verifier.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "schemes/compact_diam2.hpp"
 #include "schemes/full_table.hpp"
 
@@ -133,6 +135,109 @@ TEST(Fuzz, CompactAndFullTableAgreeOnDistances) {
         EXPECT_EQ(model::route_once(g, compact, u, v, 0), dist.at(u, v));
         EXPECT_EQ(model::route_once(g, table, u, v, 0), dist.at(u, v));
       }
+    }
+  }
+}
+
+TEST(Fuzz, MetricsJsonRoundTripsRandomRegistries) {
+  // Randomized registries — hostile metric names (quotes, backslashes,
+  // control bytes, UTF-8), zero counters, unset gauges, empty histograms —
+  // must serialize to JSON that parses back to exactly the snapshot, and
+  // re-serializing the parsed tree must reproduce the bytes.
+  const std::vector<std::string> name_pool = {
+      "plain",
+      "with\"quote",
+      "back\\slash",
+      "tab\tnl\ncr\r",
+      std::string("ctl\x01\x1f"),
+      "unicode.héloïse.λ",
+      "日本語.メトリクス",
+      "dots.and-dashes_0",
+  };
+  std::mt19937_64 rng(908);
+  for (int trial = 0; trial < 40; ++trial) {
+    obs::ScopedRegistry scoped;
+    auto& reg = scoped.registry();
+    for (std::size_t i = 0; i < name_pool.size(); ++i) {
+      const std::string name =
+          name_pool[i] + "." + std::to_string(rng() % 4);
+      switch (rng() % 3) {
+        case 0: {
+          const auto c = reg.counter(name);
+          if (rng() % 3 != 0) c.inc(rng() % 1'000'000);  // sometimes zero
+          break;
+        }
+        case 1: {
+          const auto g = reg.gauge(name);
+          if (rng() % 3 != 0) {
+            g.set(static_cast<std::int64_t>(rng()) >> (rng() % 32));
+          }
+          break;
+        }
+        default: {
+          std::vector<std::uint64_t> bounds;
+          std::uint64_t b = 0;
+          const std::size_t nb = rng() % 5;
+          for (std::size_t k = 0; k < nb; ++k) {
+            b += 1 + rng() % 100;
+            bounds.push_back(b);
+          }
+          const auto h = reg.histogram(name, bounds);
+          const std::size_t observations = rng() % 4;  // often empty
+          for (std::size_t k = 0; k < observations; ++k) {
+            h.observe(rng() % 500);
+          }
+          break;
+        }
+      }
+    }
+    const std::int64_t wall =
+        trial % 2 == 0 ? -1 : static_cast<std::int64_t>(rng() % 1'000'000);
+    const std::string json = obs::metrics_json(reg, wall);
+    const obs::JsonValue doc = obs::parse_json(json);
+    EXPECT_EQ(obs::dump_json(doc), json);
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::JsonValue* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_EQ(counters->object.size(), snap.counters.size());
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      EXPECT_EQ(counters->object[i].first, snap.counters[i].first);
+      EXPECT_EQ(counters->object[i].second.uint_value, snap.counters[i].second);
+    }
+    const obs::JsonValue* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_EQ(gauges->object.size(), snap.gauges.size());
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+      EXPECT_EQ(gauges->object[i].first, snap.gauges[i].first);
+      const obs::JsonValue& v = gauges->object[i].second;
+      const std::int64_t parsed =
+          v.kind == obs::JsonValue::Kind::kUInt
+              ? static_cast<std::int64_t>(v.uint_value)
+              : v.int_value;
+      EXPECT_EQ(parsed, snap.gauges[i].second);
+    }
+    const obs::JsonValue* hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    ASSERT_EQ(hists->object.size(), snap.histograms.size());
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      EXPECT_EQ(hists->object[i].first, snap.histograms[i].first);
+      const obs::JsonValue& h = hists->object[i].second;
+      const obs::HistogramSnapshot& hs = snap.histograms[i].second;
+      ASSERT_EQ(h.find("bounds")->array.size(), hs.bounds.size());
+      ASSERT_EQ(h.find("counts")->array.size(), hs.counts.size());
+      for (std::size_t k = 0; k < hs.counts.size(); ++k) {
+        EXPECT_EQ(h.find("counts")->array[k].uint_value, hs.counts[k]);
+      }
+      EXPECT_EQ(h.find("sum")->uint_value, hs.sum);
+      EXPECT_EQ(h.find("count")->uint_value, hs.count());
+    }
+    const obs::JsonValue* wall_field = doc.find("wall_ns");
+    if (wall < 0) {
+      EXPECT_EQ(wall_field, nullptr);
+    } else {
+      ASSERT_NE(wall_field, nullptr);
+      EXPECT_EQ(wall_field->uint_value, static_cast<std::uint64_t>(wall));
     }
   }
 }

@@ -20,7 +20,7 @@ fi
 # The sanitizer stages only need the suites they gate on; building
 # everything under TSan would double CI time for no coverage.
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
-  faults_test resilience_test)
+  faults_test resilience_test obs_test instrumentation_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
