@@ -113,11 +113,42 @@ int main(int argc, char** argv) {
   const double serial_seconds = calibration(1);
   const double parallel_seconds = calibration(threads);
 
+  // Artifact framing overhead: the v1 container header is fixed-width, so
+  // the overhead in bits must come out identical at every n.
+  struct OverheadPoint {
+    std::size_t n;
+    std::size_t artifact_bits;
+    std::size_t payload_bits;
+  };
+  std::vector<OverheadPoint> overhead;
+  for (const std::size_t n : ns) {
+    graph::Rng rng(1);
+    const graph::Graph g = core::certified_random_graph(n, rng);
+    const auto artifact = schemes::serialize(schemes::HubScheme(g));
+    const auto info = schemes::inspect(artifact);
+    overhead.push_back({n, artifact.size(), info.payload_bits});
+  }
+
   obs::JsonWriter out;
   out.begin_object();
   out.key("bench").value("bench_table1");
   out.key("threads").value(static_cast<std::uint64_t>(threads));
   out.key("wall_seconds").value(wall_seconds);
+  out.key("artifact_overhead").begin_object();
+  out.key("frame_header_bits")
+      .value(static_cast<std::uint64_t>(schemes::kFrameHeaderBits));
+  out.key("points").begin_array();
+  for (const auto& p : overhead) {
+    out.begin_object();
+    out.key("n").value(static_cast<std::uint64_t>(p.n));
+    out.key("artifact_bits").value(static_cast<std::uint64_t>(p.artifact_bits));
+    out.key("payload_bits").value(static_cast<std::uint64_t>(p.payload_bits));
+    out.key("overhead_bits")
+        .value(static_cast<std::uint64_t>(p.artifact_bits - p.payload_bits));
+    out.end_object();
+  }
+  out.end_array();
+  out.end_object();
   out.key("calibration").begin_object();
   out.key("serial_seconds").value(serial_seconds);
   out.key("parallel_seconds").value(parallel_seconds);

@@ -5,6 +5,7 @@
 //   optrt_cli compile  G.eg [--model M] [--objective O] -o S.ort
 //   optrt_cli route    G.eg S.ort <src> <dst>
 //   optrt_cli verify   G.eg S.ort
+//   optrt_cli verify-artifact S.ort [G.eg]
 //   optrt_cli sizes    G.eg
 //   optrt_cli simulate G.eg S.ort [--messages M] [--traffic T]
 //                      [--failures K | --fail-fraction F] [--fault-model M]
@@ -25,6 +26,7 @@
 // metrics registry (deterministic across --threads once wall_ns is
 // stripped); --trace-json FILE writes Chrome trace_event JSON viewable in
 // chrome://tracing or ui.perfetto.dev.
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -48,6 +50,7 @@ using namespace optrt;
       "  optrt_cli compile G.eg [--model II.alpha] [--objective shortest] -o S.ort\n"
       "  optrt_cli route G.eg S.ort <src> <dst>\n"
       "  optrt_cli verify G.eg S.ort\n"
+      "  optrt_cli verify-artifact S.ort [G.eg]\n"
       "  optrt_cli sizes G.eg\n"
       "  optrt_cli simulate G.eg S.ort [--messages M] [--traffic "
       "uniform|allpairs|hotspot|permutation]\n"
@@ -198,30 +201,38 @@ schemes::Objective parse_objective(const std::string& name) {
   usage("unknown objective " + name);
 }
 
+/// Artifact/graph loads print one diagnostic line — the file plus the
+/// DecodeError kind — and exit 2, so a corrupt input is a clean refusal,
+/// never a stack trace or a partial run.
+[[noreturn]] void reject_file(const std::string& path, const char* what) {
+  std::cerr << "error: " << path << ": " << what << "\n";
+  std::exit(2);
+}
+
+graph::Graph cli_load_graph(const std::string& path) {
+  try {
+    return core::load_graph(path);
+  } catch (const std::exception& e) {
+    reject_file(path, e.what());
+  }
+}
+
+bitio::BitVector cli_load_artifact(const std::string& path) {
+  try {
+    return schemes::load_artifact(path);
+  } catch (const std::exception& e) {
+    reject_file(path, e.what());
+  }
+}
+
 std::unique_ptr<model::RoutingScheme> load_scheme(
     const std::string& path, const graph::Graph& g) {
-  const bitio::BitVector artifact = schemes::load_artifact(path);
-  switch (schemes::peek_kind(artifact)) {
-    case schemes::SchemeKind::kCompactDiam2:
-      return std::make_unique<schemes::CompactDiam2Scheme>(
-          schemes::deserialize_compact_diam2(artifact, g));
-    case schemes::SchemeKind::kFullTable:
-      return std::make_unique<schemes::FullTableScheme>(
-          schemes::deserialize_full_table(artifact, g));
-    case schemes::SchemeKind::kHub:
-      return std::make_unique<schemes::HubScheme>(
-          schemes::deserialize_hub(artifact, g));
-    case schemes::SchemeKind::kRoutingCenter:
-      return std::make_unique<schemes::RoutingCenterScheme>(
-          schemes::deserialize_routing_center(artifact, g));
-    case schemes::SchemeKind::kLandmark:
-      return std::make_unique<schemes::LandmarkScheme>(
-          schemes::deserialize_landmark(artifact, g));
-    case schemes::SchemeKind::kHierarchical:
-      return std::make_unique<schemes::HierarchicalScheme>(
-          schemes::deserialize_hierarchical(artifact, g));
+  const bitio::BitVector artifact = cli_load_artifact(path);
+  try {
+    return schemes::deserialize_any(artifact, g);
+  } catch (const schemes::DecodeError& e) {
+    reject_file(path, e.what());
   }
-  usage("unrecognized scheme artifact");
 }
 
 int cmd_generate(const Args& args) {
@@ -239,7 +250,7 @@ int cmd_generate(const Args& args) {
 
 int cmd_info(const Args& args) {
   if (args.positional.size() != 1) usage("info needs a graph file");
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   const graph::DistanceMatrix dist(g);
   const auto cert = graph::certify(g);
   std::cout << "n = " << g.node_count() << "\n|E| = " << g.edge_count()
@@ -261,7 +272,7 @@ int cmd_compile(const Args& args) {
   if (args.positional.size() != 1 || !args.output) {
     usage("compile needs a graph file and -o FILE");
   }
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   schemes::CompileOptions opt;
   opt.objective = parse_objective(args.objective);
   opt.port_seed = args.seed;
@@ -279,6 +290,15 @@ int cmd_compile(const Args& args) {
   } else if (const auto* rc = dynamic_cast<const schemes::RoutingCenterScheme*>(
                  scheme.get())) {
     artifact = schemes::serialize(*rc);
+  } else if (const auto* lm =
+                 dynamic_cast<const schemes::LandmarkScheme*>(scheme.get())) {
+    artifact = schemes::serialize(*lm);
+  } else if (const auto* hi = dynamic_cast<const schemes::HierarchicalScheme*>(
+                 scheme.get())) {
+    artifact = schemes::serialize(*hi);
+  } else if (const auto* ss = dynamic_cast<const schemes::SequentialSearchScheme*>(
+                 scheme.get())) {
+    artifact = schemes::serialize(*ss);
   } else {
     std::cerr << "scheme '" << scheme->name()
               << "' has no stored tables to serialize; reporting only\n";
@@ -300,7 +320,7 @@ int cmd_route(const Args& args) {
   if (args.positional.size() != 4) {
     usage("route needs <graph> <scheme> <src> <dst>");
   }
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   const auto scheme = load_scheme(args.positional[1], g);
   const auto src =
       static_cast<graph::NodeId>(std::strtoul(args.positional[2].c_str(), nullptr, 10));
@@ -330,7 +350,7 @@ int cmd_route(const Args& args) {
 
 int cmd_verify(const Args& args) {
   if (args.positional.size() != 2) usage("verify needs <graph> <scheme>");
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   const auto scheme = load_scheme(args.positional[1], g);
   const auto result = model::verify_scheme(g, *scheme);
   std::cout << "pairs checked : " << result.pairs_checked
@@ -341,9 +361,44 @@ int cmd_verify(const Args& args) {
   return result.ok() ? 0 : 1;
 }
 
+int cmd_verify_artifact(const Args& args) {
+  if (args.positional.empty() || args.positional.size() > 2) {
+    usage("verify-artifact needs <scheme.ort> [graph.eg]");
+  }
+  const std::string& path = args.positional[0];
+  const bitio::BitVector artifact = cli_load_artifact(path);
+  schemes::ArtifactInfo info;
+  try {
+    info = schemes::inspect(artifact);
+  } catch (const schemes::DecodeError& e) {
+    reject_file(path, e.what());
+  }
+  std::cout << "format        : v" << static_cast<unsigned>(info.version)
+            << (info.version == 0 ? " (legacy, no checksum)" : "")
+            << "\nscheme kind   : " << schemes::to_string(info.kind)
+            << "\nnode count    : " << info.node_count
+            << "\npayload bits  : " << info.payload_bits << "\n";
+  if (info.version >= 1) {
+    char crc[16];
+    std::snprintf(crc, sizeof crc, "%08x", info.crc_stored);
+    std::cout << "payload crc32 : " << crc << " (verified)\nframe overhead: "
+              << schemes::kFrameHeaderBits << " bits\n";
+  }
+  if (args.positional.size() == 2) {
+    const graph::Graph g = cli_load_graph(args.positional[1]);
+    try {
+      const auto scheme = schemes::deserialize_any(artifact, g);
+      std::cout << "decode        : ok (" << scheme->name() << ")\n";
+    } catch (const schemes::DecodeError& e) {
+      reject_file(path, e.what());
+    }
+  }
+  return 0;
+}
+
 int cmd_sizes(const Args& args) {
   if (args.positional.size() != 1) usage("sizes needs a graph file");
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   core::TextTable table({"model", "scheme", "total bits", "max stretch"});
   for (const model::Model& m : model::Model::all()) {
     const auto scheme = schemes::compile(g, m);
@@ -358,7 +413,7 @@ int cmd_sizes(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   if (args.positional.size() != 2) usage("simulate needs <graph> <scheme>");
-  const graph::Graph g = core::load_graph(args.positional[0]);
+  const graph::Graph g = cli_load_graph(args.positional[0]);
   const auto scheme = load_scheme(args.positional[1], g);
   const std::size_t n = g.node_count();
 
@@ -479,6 +534,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "compile") return cmd_compile(args);
   if (command == "route") return cmd_route(args);
   if (command == "verify") return cmd_verify(args);
+  if (command == "verify-artifact") return cmd_verify_artifact(args);
   if (command == "sizes") return cmd_sizes(args);
   if (command == "simulate") return cmd_simulate(args);
   if (command == "sweep") return cmd_sweep(args);

@@ -17,10 +17,36 @@ void save_graph(const std::string& path, const graph::Graph& g) {
 graph::Graph load_graph(const std::string& path) {
   const bitio::BitVector bits = schemes::load_artifact(path);
   bitio::BitReader r(bits);
-  const auto n = static_cast<std::size_t>(bitio::read_prime(r));
+  std::uint64_t n = 0;
+  try {
+    n = bitio::read_prime(r);
+  } catch (const std::out_of_range&) {
+    throw schemes::DecodeError(schemes::DecodeErrorKind::kTruncated,
+                               "graph file ends inside its node count");
+  } catch (const std::invalid_argument&) {
+    throw schemes::DecodeError(schemes::DecodeErrorKind::kSemanticInvalid,
+                               "graph file node count is malformed");
+  }
+  // E(G) holds one bit per node pair; a hostile n must not drive the loop
+  // (or the adjacency allocation in decode) past the actual file contents.
+  // The n < 2^32 bound also keeps n·(n−1)/2 below any uint64 overflow.
+  if (n >> 32 != 0) {
+    throw schemes::DecodeError(schemes::DecodeErrorKind::kResourceLimit,
+                               "graph node count exceeds 32 bits");
+  }
+  if (n != 0 && (n > r.remaining() || n * (n - 1) / 2 > r.remaining())) {
+    throw schemes::DecodeError(
+        schemes::DecodeErrorKind::kResourceLimit,
+        "graph node count exceeds the file's edge bits");
+  }
+  const auto pairs = static_cast<std::size_t>(n) * (n - 1) / 2;
+  if (r.remaining() != pairs) {
+    throw schemes::DecodeError(schemes::DecodeErrorKind::kSemanticInvalid,
+                               "graph file size does not match E(G) for n");
+  }
   bitio::BitVector eg;
-  for (std::size_t i = 0; i < n * (n - 1) / 2; ++i) eg.push_back(r.read_bit());
-  return graph::decode(eg, n);
+  for (std::size_t i = 0; i < pairs; ++i) eg.push_back(r.read_bit());
+  return graph::decode(eg, static_cast<std::size_t>(n));
 }
 
 }  // namespace optrt::core

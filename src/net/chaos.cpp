@@ -1,0 +1,135 @@
+#include "net/chaos.hpp"
+
+#include <algorithm>
+
+#include "core/parallel.hpp"
+
+namespace optrt::net {
+
+namespace {
+
+/// Small seeded generator over the SplitMix64 mixer: each draw re-mixes a
+/// counter, matching the stateless point_seed discipline of core/parallel.
+class ChaosRng {
+ public:
+  explicit ChaosRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t next() noexcept {
+    return core::point_seed(seed_, 0x9E3779B97F4A7C15ull, counter_++);
+  }
+
+  /// Uniform draw in [0, bound); bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+bitio::BitVector flipped(bitio::BitVector bits, std::size_t index) {
+  bits.set(index, !bits.get(index));
+  return bits;
+}
+
+}  // namespace
+
+const char* to_string(CorruptionKind kind) noexcept {
+  switch (kind) {
+    case CorruptionKind::kBitFlip: return "bit-flip";
+    case CorruptionKind::kMultiBitFlip: return "multi-bit-flip";
+    case CorruptionKind::kTruncate: return "truncate";
+    case CorruptionKind::kExtend: return "extend";
+    case CorruptionKind::kSplice: return "splice";
+    case CorruptionKind::kZeroHeader: return "zero-header";
+  }
+  return "unknown";
+}
+
+bitio::BitVector corrupt(const bitio::BitVector& artifact, std::uint64_t seed,
+                         CorruptionReport* report) {
+  ChaosRng rng(seed);
+  auto kind = static_cast<CorruptionKind>(rng.below(kCorruptionKindCount));
+  if (artifact.empty() && kind != CorruptionKind::kExtend) {
+    kind = CorruptionKind::kExtend;
+  }
+  return corrupt_with(artifact, kind, core::mix64(seed ^ 0xC4A5ull), report);
+}
+
+bitio::BitVector corrupt_with(const bitio::BitVector& artifact,
+                              CorruptionKind kind, std::uint64_t seed,
+                              CorruptionReport* report) {
+  ChaosRng rng(seed);
+  CorruptionReport r;
+  r.kind = kind;
+  r.seed = seed;
+  bitio::BitVector out = artifact;
+  const std::size_t n = artifact.size();
+  switch (kind) {
+    case CorruptionKind::kBitFlip: {
+      r.begin = n == 0 ? 0 : static_cast<std::size_t>(rng.below(n));
+      r.count = n == 0 ? 0 : 1;
+      if (n != 0) out = flipped(std::move(out), r.begin);
+      break;
+    }
+    case CorruptionKind::kMultiBitFlip: {
+      const std::size_t want =
+          n == 0 ? 0 : static_cast<std::size_t>(2 + rng.below(15));
+      std::size_t flips = 0;
+      std::size_t first = n;
+      for (std::size_t i = 0; i < want; ++i) {
+        const auto pos = static_cast<std::size_t>(rng.below(n));
+        out.set(pos, !out.get(pos));
+        first = std::min(first, pos);
+        ++flips;
+      }
+      r.begin = first == n ? 0 : first;
+      r.count = flips;
+      break;
+    }
+    case CorruptionKind::kTruncate: {
+      const std::size_t keep =
+          n == 0 ? 0 : static_cast<std::size_t>(rng.below(n));
+      r.begin = keep;
+      r.count = n - keep;
+      bitio::BitVector cut;
+      for (std::size_t i = 0; i < keep; ++i) cut.push_back(out.get(i));
+      out = std::move(cut);
+      break;
+    }
+    case CorruptionKind::kExtend: {
+      const auto extra = static_cast<std::size_t>(1 + rng.below(64));
+      r.begin = n;
+      r.count = extra;
+      for (std::size_t i = 0; i < extra; ++i) out.push_back(rng.next() & 1u);
+      break;
+    }
+    case CorruptionKind::kSplice: {
+      const std::size_t begin =
+          n == 0 ? 0 : static_cast<std::size_t>(rng.below(n));
+      const std::size_t len = std::min<std::size_t>(
+          n - begin, static_cast<std::size_t>(1 + rng.below(128)));
+      r.begin = begin;
+      r.count = len;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.set(begin + i, rng.next() & 1u);
+      }
+      break;
+    }
+    case CorruptionKind::kZeroHeader: {
+      const std::size_t len = std::min<std::size_t>(
+          n, static_cast<std::size_t>(1 + rng.below(176)));
+      r.begin = 0;
+      r.count = len;
+      for (std::size_t i = 0; i < len; ++i) out.set(i, false);
+      break;
+    }
+  }
+  if (report != nullptr) *report = r;
+  return out;
+}
+
+bitio::BitVector flip_bit(const bitio::BitVector& artifact, std::size_t index) {
+  return flipped(artifact, index);
+}
+
+}  // namespace optrt::net

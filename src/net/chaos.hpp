@@ -1,0 +1,67 @@
+// Seeded artifact-corruption injector for the decode-hardening harness.
+//
+// The routing artifacts of schemes/serialization are the bits a universal
+// strategy actually ships to the nodes; a hardened pipeline must treat
+// them as hostile once they leave the encoder. This module generates the
+// hostile inputs: given a well-formed artifact and a seed, it applies one
+// of a fixed menu of corruption classes — single/multi bit flips,
+// truncation, extension, section splice, zeroed header — and returns the
+// damaged bit string. All randomness derives from the seed through the
+// same SplitMix64 discipline as net/faults' FaultPlan generators, so
+// corruption #(seed, i) is bit-identical on every run, thread count, and
+// platform, and a chaos-test failure is replayable from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bitio/bit_vector.hpp"
+
+namespace optrt::net {
+
+/// The corruption classes the chaos harness draws from. Every class keeps
+/// the damaged artifact's size within [0, 2·|artifact|] bits, so decoders
+/// face malformed inputs, not unbounded ones.
+enum class CorruptionKind : std::uint8_t {
+  kBitFlip,       ///< flip exactly one bit, anywhere
+  kMultiBitFlip,  ///< flip 2–16 distinct bits
+  kTruncate,      ///< drop a suffix (possibly all bits)
+  kExtend,        ///< append 1–64 seeded junk bits
+  kSplice,        ///< overwrite a section with seeded junk
+  kZeroHeader,    ///< zero a prefix of up to 176 bits
+};
+
+inline constexpr std::size_t kCorruptionKindCount = 6;
+
+[[nodiscard]] const char* to_string(CorruptionKind kind) noexcept;
+
+/// One corruption draw: which class was applied and where, for replayable
+/// diagnostics when a chaos test fails.
+struct CorruptionReport {
+  CorruptionKind kind = CorruptionKind::kBitFlip;
+  std::uint64_t seed = 0;
+  std::size_t begin = 0;  ///< first affected bit position
+  std::size_t count = 0;  ///< number of affected / appended / dropped bits
+};
+
+/// Applies the seed-selected corruption class to a copy of `artifact`.
+/// The same (artifact, seed) pair always yields the same damaged bits.
+/// If `report` is non-null it receives the draw's parameters. Empty
+/// artifacts only ever grow (kExtend).
+[[nodiscard]] bitio::BitVector corrupt(const bitio::BitVector& artifact,
+                                       std::uint64_t seed,
+                                       CorruptionReport* report = nullptr);
+
+/// Applies a specific corruption class; the seed only picks positions.
+[[nodiscard]] bitio::BitVector corrupt_with(const bitio::BitVector& artifact,
+                                            CorruptionKind kind,
+                                            std::uint64_t seed,
+                                            CorruptionReport* report = nullptr);
+
+/// Flips exactly the payload bit `index` (frame-relative position
+/// kFrameHeaderBits + index) of a framed artifact — the primitive behind
+/// the "every single-bit payload flip is caught by the CRC" sweep.
+[[nodiscard]] bitio::BitVector flip_bit(const bitio::BitVector& artifact,
+                                        std::size_t index);
+
+}  // namespace optrt::net

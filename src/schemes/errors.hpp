@@ -1,9 +1,25 @@
-// Error type for constructions whose preconditions a given graph fails.
+// Error types for scheme construction and artifact decoding.
 //
-// The paper's constructions assume the Lemma 1–3 structure of Kolmogorov
-// random graphs (diameter 2, small dominating covers). On other graphs they
-// are simply inapplicable; the Compiler catches this and falls back to the
-// always-correct full-table scheme.
+// Two failure families live here:
+//
+//   · SchemeInapplicable — a *construction* precondition a given graph
+//     fails. The paper's constructions assume the Lemma 1–3 structure of
+//     Kolmogorov random graphs (diameter 2, small dominating covers); on
+//     other graphs they are simply inapplicable, and the Compiler catches
+//     this and falls back to the always-correct full-table scheme.
+//
+//   · DecodeError — a *decode* failure of a serialized artifact. The
+//     routing function is a bit string (Theorems 1–5 route by decoding
+//     it), so the decode path is the data plane: a flipped bit, a torn
+//     write, or a hostile length field must yield a typed, one-line
+//     diagnosable error — never UB, silent garbage routes, or an
+//     unbounded allocation. Every decoder in schemes/serialization (and
+//     the byte/file transport beneath it) throws DecodeError, classified
+//     by the first integrity layer that rejected the input.
+//
+// DecodeError derives from std::invalid_argument so pre-taxonomy callers
+// (and tests) that caught the old scattered invalid_argument throws keep
+// working unchanged.
 #pragma once
 
 #include <stdexcept>
@@ -15,6 +31,44 @@ class SchemeInapplicable : public std::runtime_error {
  public:
   explicit SchemeInapplicable(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Why an artifact failed to decode, ordered by the integrity layer that
+/// catches it (outermost first).
+enum class DecodeErrorKind : std::uint8_t {
+  kTruncated,         ///< input ends before a declared/required field
+  kBadMagic,          ///< leading magic is neither v1 ("ORT2") nor v0 ("ORT1")
+  kVersionMismatch,   ///< framed artifact with an unknown format version
+  kChecksumMismatch,  ///< payload CRC32 disagrees with the stored checksum
+  kSemanticInvalid,   ///< fields decode but violate scheme invariants
+                      ///< (wrong kind, node-count mismatch, port >= degree,
+                      ///< id >= n, trailing bits, ...)
+  kResourceLimit,     ///< a length/count field would drive an allocation
+                      ///< beyond what the input can possibly back
+};
+
+[[nodiscard]] constexpr const char* to_string(DecodeErrorKind kind) noexcept {
+  switch (kind) {
+    case DecodeErrorKind::kTruncated: return "truncated";
+    case DecodeErrorKind::kBadMagic: return "bad-magic";
+    case DecodeErrorKind::kVersionMismatch: return "version-mismatch";
+    case DecodeErrorKind::kChecksumMismatch: return "checksum-mismatch";
+    case DecodeErrorKind::kSemanticInvalid: return "semantic-invalid";
+    case DecodeErrorKind::kResourceLimit: return "resource-limit";
+  }
+  return "unknown";
+}
+
+class DecodeError : public std::invalid_argument {
+ public:
+  DecodeError(DecodeErrorKind kind, const std::string& what)
+      : std::invalid_argument(std::string(to_string(kind)) + ": " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] DecodeErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  DecodeErrorKind kind_;
 };
 
 }  // namespace optrt::schemes

@@ -55,6 +55,16 @@ FullTableScheme::FullTableScheme(const graph::Graph& g,
     if (table_bits_[u].size() != n_ * width_[u]) {
       throw std::invalid_argument("FullTableScheme: table length mismatch");
     }
+    // Eager entry validation: next_hop indexes the port assignment
+    // unchecked, so no stored port may reach the query path out of range.
+    const std::size_t degree = std::max<std::size_t>(g.degree(u), 1);
+    bitio::BitReader r(table_bits_[u]);
+    for (NodeId label = 0; label < n_; ++label) {
+      if (r.read_bits(width_[u]) >= degree) {
+        throw std::invalid_argument(
+            "FullTableScheme: stored port exceeds the node degree");
+      }
+    }
   }
 }
 

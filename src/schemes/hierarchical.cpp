@@ -192,8 +192,16 @@ HierarchicalScheme::HierarchicalScheme(
   for (NodeId w = 0; w < n_; ++w) {
     const unsigned port_width =
         bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+    const std::size_t degree = std::max<std::size_t>(g.degree(w), 1);
+    const std::size_t entry_bits = id_width + port_width + 1;
     bitio::BitReader r(function_bits_[w]);
     const auto count = static_cast<std::size_t>(bitio::read_prime(r));
+    // The stored count must fit the node's actual bits before it sizes
+    // any allocation; a corrupt count field is not a resize request.
+    if (count > r.remaining() / entry_bits) {
+      throw std::length_error(
+          "HierarchicalScheme: entry count exceeds the stored bits");
+    }
     DecodedNode& node = decoded_[w];
     node.targets.resize(count);
     node.port_for.resize(count);
@@ -201,6 +209,14 @@ HierarchicalScheme::HierarchicalScheme(
       node.targets[e] = static_cast<NodeId>(r.read_bits(id_width));
       node.port_for[e] = static_cast<graph::PortId>(r.read_bits(port_width));
       (void)r.read_bit();
+      if (node.targets[e] >= n_ || node.port_for[e] >= degree ||
+          (e > 0 && node.targets[e] <= node.targets[e - 1])) {
+        throw std::invalid_argument("HierarchicalScheme: bad table entry");
+      }
+    }
+    if (!r.exhausted()) {
+      throw std::invalid_argument(
+          "HierarchicalScheme: trailing bits in a node table");
     }
   }
 }

@@ -76,6 +76,12 @@ HubScheme::HubScheme(const graph::Graph& g, NodeId hub, unsigned rank_width,
   if (function_bits_.size() != n_) {
     throw std::invalid_argument("HubScheme: node count mismatch");
   }
+  if (hub_ >= n_) {
+    throw std::invalid_argument("HubScheme: hub id out of range");
+  }
+  if (rank_width_ > 64) {
+    throw std::invalid_argument("HubScheme: rank width exceeds 64 bits");
+  }
   const CompactNodeOptions node_opt;
   const auto hub_nbrs = g.neighbors(hub_);
   hub_table_ =

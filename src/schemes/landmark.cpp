@@ -139,20 +139,42 @@ LandmarkScheme::LandmarkScheme(const graph::Graph& g,
   for (NodeId w = 0; w < n_; ++w) {
     const unsigned port_width =
         bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+    const std::size_t degree = std::max<std::size_t>(g.degree(w), 1);
     bitio::BitReader r(function_bits_[w]);
     DecodedNode& node = decoded_[w];
     node.landmark_port.resize(landmarks_.size());
     for (auto& p : node.landmark_port) {
       p = static_cast<graph::PortId>(r.read_bits(port_width));
+      if (p >= degree) {
+        throw std::invalid_argument(
+            "LandmarkScheme: stored port exceeds the node degree");
+      }
     }
     const auto vic =
         static_cast<std::size_t>(r.read_bits(bitio::ceil_log2_plus1(n_)));
+    if (vic > n_) {
+      throw std::invalid_argument("LandmarkScheme: vicinity larger than n");
+    }
     node.vicinity_ids.resize(vic);
     node.vicinity_port.resize(vic);
     for (std::size_t i = 0; i < vic; ++i) {
       node.vicinity_ids[i] = static_cast<NodeId>(r.read_bits(id_width));
       node.vicinity_port[i] =
           static_cast<graph::PortId>(r.read_bits(port_width));
+      // next_hop binary-searches the vicinity and indexes ports unchecked;
+      // both invariants must hold before the table is ever queried.
+      if (node.vicinity_ids[i] >= n_ ||
+          (i > 0 && node.vicinity_ids[i] <= node.vicinity_ids[i - 1])) {
+        throw std::invalid_argument("LandmarkScheme: bad vicinity table");
+      }
+      if (node.vicinity_port[i] >= degree) {
+        throw std::invalid_argument(
+            "LandmarkScheme: stored port exceeds the node degree");
+      }
+    }
+    if (!r.exhausted()) {
+      throw std::invalid_argument(
+          "LandmarkScheme: trailing bits in a node table");
     }
   }
 }

@@ -1,10 +1,12 @@
 #include "schemes/serialization.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
+#include "bitio/crc32.hpp"
 #include "obs/metrics.hpp"
 
 namespace optrt::schemes {
@@ -30,25 +32,142 @@ void record_deserialize(const bitio::BitVector& artifact) {
   reg.counter("schemes.artifact.bits_in").inc(artifact.size());
 }
 
-void write_header(BitWriter& w, SchemeKind kind, std::size_t n) {
-  w.write_bits(kArtifactMagic, 32);
-  bitio::write_prime(w, static_cast<std::uint64_t>(kind));
-  bitio::write_prime(w, n);
+[[noreturn]] void fail(DecodeErrorKind kind, const std::string& what) {
+  throw DecodeError(kind, what);
 }
 
-struct Header {
-  SchemeKind kind;
-  std::size_t n;
+void check(bool ok, DecodeErrorKind kind, const char* what) {
+  if (!ok) fail(kind, what);
+}
+
+bool valid_kind(std::uint64_t raw) noexcept {
+  return raw >= static_cast<std::uint64_t>(SchemeKind::kCompactDiam2) &&
+         raw <= static_cast<std::uint64_t>(SchemeKind::kSequentialSearch);
+}
+
+/// Frame header plus the extracted (checksum-verified, for v1) payload.
+struct Frame {
+  ArtifactInfo info;
+  bitio::BitVector payload;
 };
 
-Header read_header(BitReader& r) {
-  if (r.read_bits(32) != kArtifactMagic) {
-    throw std::invalid_argument("scheme artifact: bad magic");
+/// Parses and validates the container framing of either format version.
+/// The returned payload is an owned copy: its extraction is bounded by the
+/// artifact's actual size, never by a decoded length field alone.
+Frame read_frame(const bitio::BitVector& artifact) {
+  check(artifact.size() >= 32, DecodeErrorKind::kTruncated,
+        "artifact shorter than its magic");
+  BitReader r(artifact);
+  const auto magic = static_cast<std::uint32_t>(r.read_bits(32));
+  Frame f;
+  if (magic == kLegacyMagic) {
+    // v0 compatibility: [magic][kind]'[n]' then the payload, unframed.
+    f.info.version = 0;
+    std::uint64_t kind_raw = 0;
+    try {
+      kind_raw = bitio::read_prime(r);
+      f.info.node_count = static_cast<std::size_t>(bitio::read_prime(r));
+    } catch (const std::out_of_range&) {
+      fail(DecodeErrorKind::kTruncated, "v0 artifact ends inside its header");
+    } catch (const std::invalid_argument&) {
+      // A corrupted prime-code length field (e.g. one wider than 64 bits).
+      fail(DecodeErrorKind::kSemanticInvalid, "v0 artifact header is malformed");
+    }
+    check(valid_kind(kind_raw), DecodeErrorKind::kSemanticInvalid,
+          "v0 artifact names an unknown scheme kind");
+    f.info.kind = static_cast<SchemeKind>(kind_raw);
+    f.info.payload_bits = r.remaining();
+    f.payload = bitio::BitVector();
+    while (!r.exhausted()) f.payload.push_back(r.read_bit());
+    return f;
   }
-  Header h{};
-  h.kind = static_cast<SchemeKind>(bitio::read_prime(r));
-  h.n = static_cast<std::size_t>(bitio::read_prime(r));
-  return h;
+  check(magic == kFrameMagic, DecodeErrorKind::kBadMagic,
+        "artifact magic is neither ORT2 (framed) nor ORT1 (legacy)");
+  check(artifact.size() >= kFrameHeaderBits, DecodeErrorKind::kTruncated,
+        "artifact ends inside its frame header");
+  f.info.version = static_cast<std::uint8_t>(r.read_bits(8));
+  check(f.info.version == kFormatVersion, DecodeErrorKind::kVersionMismatch,
+        "unsupported artifact format version");
+  const std::uint64_t kind_raw = r.read_bits(8);
+  check(valid_kind(kind_raw), DecodeErrorKind::kSemanticInvalid,
+        "frame names an unknown scheme kind");
+  f.info.kind = static_cast<SchemeKind>(kind_raw);
+  f.info.node_count = static_cast<std::size_t>(r.read_bits(32));
+  const std::uint64_t payload_bits = r.read_bits(64);
+  f.info.crc_stored = static_cast<std::uint32_t>(r.read_bits(32));
+  const std::uint64_t available = artifact.size() - kFrameHeaderBits;
+  check(payload_bits <= available, DecodeErrorKind::kTruncated,
+        "declared payload length exceeds the artifact");
+  check(payload_bits == available, DecodeErrorKind::kSemanticInvalid,
+        "trailing bits after the declared payload");
+  f.info.payload_bits = static_cast<std::size_t>(payload_bits);
+  f.payload = bitio::BitVector();
+  while (!r.exhausted()) f.payload.push_back(r.read_bit());
+  f.info.crc_computed = bitio::crc32(f.payload);
+  if (f.info.crc_computed != f.info.crc_stored) {
+    obs::counter("artifact.crc_mismatch").inc();
+    fail(DecodeErrorKind::kChecksumMismatch,
+         "payload CRC32 disagrees with the stored checksum");
+  }
+  return f;
+}
+
+/// Frames a payload into a v1 artifact.
+bitio::BitVector frame(SchemeKind kind, std::size_t n,
+                       const bitio::BitVector& payload) {
+  BitWriter w;
+  w.write_bits(kFrameMagic, 32);
+  w.write_bits(kFormatVersion, 8);
+  w.write_bits(static_cast<std::uint64_t>(kind), 8);
+  w.write_bits(n, 32);
+  w.write_bits(payload.size(), 64);
+  w.write_bits(bitio::crc32(payload), 32);
+  w.write_vector(payload);
+  return w.take();
+}
+
+/// Shared decode prologue: frame validation, kind and node-count binding.
+/// Returns the payload ready for the per-kind body reader.
+bitio::BitVector open_payload(const bitio::BitVector& artifact,
+                              SchemeKind expected, const graph::Graph& g) {
+  Frame f = read_frame(artifact);
+  if (f.info.kind != expected) {
+    fail(DecodeErrorKind::kSemanticInvalid,
+         std::string("artifact holds a ") + to_string(f.info.kind) +
+             " scheme, expected " + to_string(expected));
+  }
+  check(f.info.node_count == g.node_count(),
+        DecodeErrorKind::kSemanticInvalid,
+        "artifact node count does not match the graph");
+  return std::move(f.payload);
+}
+
+/// Runs a per-kind body decode under the taxonomy: every escape hatch of
+/// the legacy decode paths (BitReader exhaustion, scheme-constructor
+/// invariants, construction preconditions) maps to a typed DecodeError,
+/// and the ok/rejected counters see exactly one increment per attempt.
+template <typename F>
+auto guarded_decode(F&& body) -> decltype(body()) {
+  try {
+    auto result = body();
+    obs::counter("artifact.decode_ok").inc();
+    return result;
+  } catch (const DecodeError&) {
+    obs::counter("artifact.decode_rejected").inc();
+    throw;
+  } catch (const SchemeInapplicable& e) {
+    obs::counter("artifact.decode_rejected").inc();
+    throw DecodeError(DecodeErrorKind::kSemanticInvalid, e.what());
+  } catch (const std::out_of_range& e) {
+    obs::counter("artifact.decode_rejected").inc();
+    throw DecodeError(DecodeErrorKind::kTruncated, e.what());
+  } catch (const std::invalid_argument& e) {
+    obs::counter("artifact.decode_rejected").inc();
+    throw DecodeError(DecodeErrorKind::kSemanticInvalid, e.what());
+  } catch (const std::length_error& e) {
+    obs::counter("artifact.decode_rejected").inc();
+    throw DecodeError(DecodeErrorKind::kResourceLimit, e.what());
+  }
 }
 
 void write_bit_vector(BitWriter& w, const bitio::BitVector& bits) {
@@ -56,51 +175,92 @@ void write_bit_vector(BitWriter& w, const bitio::BitVector& bits) {
   w.write_vector(bits);
 }
 
+/// Reads a length-prefixed bit vector. The length is checked against the
+/// reader's remaining bits *before* any allocation: a hostile length field
+/// can never drive a multi-GB resize.
 bitio::BitVector read_bit_vector(BitReader& r) {
-  const auto len = static_cast<std::size_t>(bitio::read_prime(r));
+  const std::uint64_t len = bitio::read_prime(r);
+  check(len <= r.remaining(), DecodeErrorKind::kResourceLimit,
+        "bit-vector length exceeds the remaining payload");
   bitio::BitVector bits;
-  for (std::size_t i = 0; i < len; ++i) bits.push_back(r.read_bit());
+  for (std::uint64_t i = 0; i < len; ++i) bits.push_back(r.read_bit());
   return bits;
+}
+
+/// Reads a count of items occupying >= `min_bits_per_item` bits each,
+/// checked against the remaining payload before any allocation.
+std::size_t read_count(BitReader& r, std::size_t min_bits_per_item,
+                       const char* what) {
+  const std::uint64_t count = bitio::read_prime(r);
+  const std::uint64_t per = min_bits_per_item == 0 ? 1 : min_bits_per_item;
+  if (count > r.remaining() / per) {
+    fail(DecodeErrorKind::kResourceLimit, what);
+  }
+  return static_cast<std::size_t>(count);
+}
+
+void require_exhausted(const BitReader& r) {
+  check(r.exhausted(), DecodeErrorKind::kSemanticInvalid,
+        "trailing bits after the scheme payload");
 }
 
 }  // namespace
 
+const char* to_string(SchemeKind kind) noexcept {
+  switch (kind) {
+    case SchemeKind::kCompactDiam2: return "compact-diam2";
+    case SchemeKind::kFullTable: return "full-table";
+    case SchemeKind::kHub: return "hub";
+    case SchemeKind::kRoutingCenter: return "routing-center";
+    case SchemeKind::kLandmark: return "landmark";
+    case SchemeKind::kHierarchical: return "hierarchical";
+    case SchemeKind::kSequentialSearch: return "sequential-search";
+  }
+  return "unknown";
+}
+
+ArtifactInfo inspect(const bitio::BitVector& artifact) {
+  return read_frame(artifact).info;
+}
+
+SchemeKind peek_kind(const bitio::BitVector& artifact) {
+  return read_frame(artifact).info.kind;
+}
+
 bitio::BitVector serialize(const CompactDiam2Scheme& scheme) {
   BitWriter w;
-  write_header(w, SchemeKind::kCompactDiam2, scheme.node_count());
   w.write_bit(scheme.routing_model().neighbors_known());
   for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(
+      frame(SchemeKind::kCompactDiam2, scheme.node_count(), w.take()));
 }
 
 CompactDiam2Scheme deserialize_compact_diam2(const bitio::BitVector& artifact,
                                              const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kCompactDiam2) {
-    throw std::invalid_argument("scheme artifact: not a compact-diam2 scheme");
-  }
-  if (h.n != g.node_count()) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  CompactDiam2Scheme::Options opt;
-  opt.neighbors_known = r.read_bit();
-  std::vector<bitio::BitVector> node_bits;
-  node_bits.reserve(h.n);
-  for (std::size_t u = 0; u < h.n; ++u) {
-    node_bits.push_back(read_bit_vector(r));
-  }
-  return CompactDiam2Scheme(g, opt, std::move(node_bits));
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kCompactDiam2, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    CompactDiam2Scheme::Options opt;
+    opt.neighbors_known = r.read_bit();
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      node_bits.push_back(read_bit_vector(r));
+    }
+    require_exhausted(r);
+    return CompactDiam2Scheme(g, opt, std::move(node_bits));
+  });
 }
 
 bitio::BitVector serialize(const FullTableScheme& scheme) {
   const std::size_t n = scheme.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
   BitWriter w;
-  write_header(w, SchemeKind::kFullTable, n);
   // Environment: labelling permutation, then port → neighbour maps.
   for (graph::NodeId u = 0; u < n; ++u) {
     w.write_bits(scheme.label_of(u), id_width);
@@ -119,147 +279,174 @@ bitio::BitVector serialize(const FullTableScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(frame(SchemeKind::kFullTable, n, w.take()));
 }
 
 FullTableScheme deserialize_full_table(const bitio::BitVector& artifact,
                                        const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kFullTable) {
-    throw std::invalid_argument("scheme artifact: not a full-table scheme");
-  }
-  const std::size_t n = g.node_count();
-  if (h.n != n) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
-  std::vector<graph::NodeId> labels(n);
-  for (auto& l : labels) l = static_cast<graph::NodeId>(r.read_bits(id_width));
-  std::vector<std::vector<graph::NodeId>> port_maps(n);
-  for (graph::NodeId u = 0; u < n; ++u) {
-    const auto d = static_cast<std::size_t>(bitio::read_prime(r));
-    port_maps[u].resize(d);
-    for (auto& v : port_maps[u]) {
-      v = static_cast<graph::NodeId>(r.read_bits(id_width));
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kFullTable, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+    std::vector<graph::NodeId> labels(n);
+    for (auto& l : labels) {
+      l = static_cast<graph::NodeId>(r.read_bits(id_width));
+      check(l < n, DecodeErrorKind::kSemanticInvalid,
+            "full-table label out of range");
     }
-  }
-  model::Model m;
-  m.knowledge = static_cast<model::Knowledge>(bitio::read_prime(r));
-  m.relabeling = static_cast<model::Relabeling>(bitio::read_prime(r));
-  std::vector<bitio::BitVector> tables;
-  tables.reserve(n);
-  for (std::size_t u = 0; u < n; ++u) tables.push_back(read_bit_vector(r));
-  return FullTableScheme(g, graph::PortAssignment::from_port_maps(
-                                g, std::move(port_maps)),
-                         graph::Labeling::permutation(std::move(labels)), m,
-                         std::move(tables));
+    std::vector<std::vector<graph::NodeId>> port_maps(n);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const std::size_t d =
+          read_count(r, id_width, "port map larger than the payload");
+      check(d == g.degree(u), DecodeErrorKind::kSemanticInvalid,
+            "port map size does not match the node degree");
+      port_maps[u].resize(d);
+      for (auto& v : port_maps[u]) {
+        v = static_cast<graph::NodeId>(r.read_bits(id_width));
+        check(v < n, DecodeErrorKind::kSemanticInvalid,
+              "port map entry out of range");
+      }
+    }
+    model::Model m;
+    const std::uint64_t knowledge = bitio::read_prime(r);
+    const std::uint64_t relabeling = bitio::read_prime(r);
+    check(knowledge <= static_cast<std::uint64_t>(
+                           model::Knowledge::kNeighborsKnown),
+          DecodeErrorKind::kSemanticInvalid, "unknown knowledge model");
+    check(relabeling <= static_cast<std::uint64_t>(
+                            model::Relabeling::kArbitrary),
+          DecodeErrorKind::kSemanticInvalid, "unknown relabeling model");
+    m.knowledge = static_cast<model::Knowledge>(knowledge);
+    m.relabeling = static_cast<model::Relabeling>(relabeling);
+    std::vector<bitio::BitVector> tables;
+    tables.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) tables.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    // The table-validating constructor checks per-entry port bounds.
+    return FullTableScheme(g, graph::PortAssignment::from_port_maps(
+                                  g, std::move(port_maps)),
+                           graph::Labeling::permutation(std::move(labels)), m,
+                           std::move(tables));
+  });
 }
 
 bitio::BitVector serialize(const HubScheme& scheme) {
   BitWriter w;
-  write_header(w, SchemeKind::kHub, scheme.node_count());
   bitio::write_prime(w, scheme.hub());
   bitio::write_prime(w, scheme.rank_width());
   for (graph::NodeId u = 0; u < scheme.node_count(); ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(
+      frame(SchemeKind::kHub, scheme.node_count(), w.take()));
 }
 
 HubScheme deserialize_hub(const bitio::BitVector& artifact,
                           const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kHub) {
-    throw std::invalid_argument("scheme artifact: not a hub scheme");
-  }
-  if (h.n != g.node_count()) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  const auto hub = static_cast<graph::NodeId>(bitio::read_prime(r));
-  const auto rank_width = static_cast<unsigned>(bitio::read_prime(r));
-  std::vector<bitio::BitVector> node_bits;
-  node_bits.reserve(h.n);
-  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
-  return HubScheme(g, hub, rank_width, std::move(node_bits));
+  return guarded_decode([&] {
+    const bitio::BitVector payload = open_payload(artifact, SchemeKind::kHub, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const std::uint64_t hub = bitio::read_prime(r);
+    check(hub < n, DecodeErrorKind::kSemanticInvalid, "hub id out of range");
+    const std::uint64_t rank_width = bitio::read_prime(r);
+    check(rank_width <= 64, DecodeErrorKind::kSemanticInvalid,
+          "hub rank width exceeds 64 bits");
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) node_bits.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    return HubScheme(g, static_cast<graph::NodeId>(hub),
+                     static_cast<unsigned>(rank_width), std::move(node_bits));
+  });
 }
 
 bitio::BitVector serialize(const RoutingCenterScheme& scheme) {
   const std::size_t n = scheme.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
   BitWriter w;
-  write_header(w, SchemeKind::kRoutingCenter, n);
   bitio::write_prime(w, scheme.centers().size());
   for (graph::NodeId b : scheme.centers()) w.write_bits(b, id_width);
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(frame(SchemeKind::kRoutingCenter, n, w.take()));
 }
 
 RoutingCenterScheme deserialize_routing_center(const bitio::BitVector& artifact,
                                                const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kRoutingCenter) {
-    throw std::invalid_argument("scheme artifact: not a routing-center scheme");
-  }
-  if (h.n != g.node_count()) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
-  const auto count = static_cast<std::size_t>(bitio::read_prime(r));
-  std::vector<graph::NodeId> centers(count);
-  for (auto& b : centers) b = static_cast<graph::NodeId>(r.read_bits(id_width));
-  std::vector<bitio::BitVector> node_bits;
-  node_bits.reserve(h.n);
-  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
-  return RoutingCenterScheme(g, std::move(centers), std::move(node_bits));
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kRoutingCenter, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+    const std::size_t count =
+        read_count(r, id_width, "center set larger than the payload");
+    check(count <= n, DecodeErrorKind::kSemanticInvalid,
+          "more centers than nodes");
+    std::vector<graph::NodeId> centers(count);
+    for (auto& b : centers) {
+      b = static_cast<graph::NodeId>(r.read_bits(id_width));
+      check(b < n, DecodeErrorKind::kSemanticInvalid,
+            "center id out of range");
+    }
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) node_bits.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    return RoutingCenterScheme(g, std::move(centers), std::move(node_bits));
+  });
 }
 
 bitio::BitVector serialize(const LandmarkScheme& scheme) {
   const std::size_t n = scheme.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
   BitWriter w;
-  write_header(w, SchemeKind::kLandmark, n);
   bitio::write_prime(w, scheme.landmarks().size());
   for (graph::NodeId l : scheme.landmarks()) w.write_bits(l, id_width);
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(frame(SchemeKind::kLandmark, n, w.take()));
 }
 
 LandmarkScheme deserialize_landmark(const bitio::BitVector& artifact,
                                     const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kLandmark) {
-    throw std::invalid_argument("scheme artifact: not a landmark scheme");
-  }
-  if (h.n != g.node_count()) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
-  const auto count = static_cast<std::size_t>(bitio::read_prime(r));
-  std::vector<graph::NodeId> landmarks(count);
-  for (auto& l : landmarks) l = static_cast<graph::NodeId>(r.read_bits(id_width));
-  std::vector<bitio::BitVector> node_bits;
-  node_bits.reserve(h.n);
-  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
-  return LandmarkScheme(g, std::move(landmarks), std::move(node_bits));
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kLandmark, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+    const std::size_t count =
+        read_count(r, id_width, "landmark set larger than the payload");
+    check(count <= n, DecodeErrorKind::kSemanticInvalid,
+          "more landmarks than nodes");
+    std::vector<graph::NodeId> landmarks(count);
+    for (auto& l : landmarks) {
+      l = static_cast<graph::NodeId>(r.read_bits(id_width));
+      check(l < n, DecodeErrorKind::kSemanticInvalid,
+            "landmark id out of range");
+    }
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) node_bits.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    return LandmarkScheme(g, std::move(landmarks), std::move(node_bits));
+  });
 }
 
 bitio::BitVector serialize(const HierarchicalScheme& scheme) {
   const std::size_t n = scheme.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
   BitWriter w;
-  write_header(w, SchemeKind::kHierarchical, n);
   bitio::write_prime(w, scheme.levels());
   for (std::size_t i = 1; i < scheme.levels(); ++i) {
     bitio::write_prime(w, scheme.pivots(i).size());
@@ -268,39 +455,96 @@ bitio::BitVector serialize(const HierarchicalScheme& scheme) {
   for (graph::NodeId u = 0; u < n; ++u) {
     write_bit_vector(w, scheme.function_bits(u));
   }
-  return record_serialize(w.take());
+  return record_serialize(frame(SchemeKind::kHierarchical, n, w.take()));
 }
 
 HierarchicalScheme deserialize_hierarchical(const bitio::BitVector& artifact,
                                             const graph::Graph& g) {
   record_deserialize(artifact);
-  BitReader r(artifact);
-  const Header h = read_header(r);
-  if (h.kind != SchemeKind::kHierarchical) {
-    throw std::invalid_argument("scheme artifact: not a hierarchical scheme");
-  }
-  if (h.n != g.node_count()) {
-    throw std::invalid_argument("scheme artifact: node count mismatch");
-  }
-  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(h.n, 2));
-  const auto levels = static_cast<std::size_t>(bitio::read_prime(r));
-  std::vector<std::vector<graph::NodeId>> pivot_sets(levels);
-  for (std::size_t i = 1; i < levels; ++i) {
-    const auto count = static_cast<std::size_t>(bitio::read_prime(r));
-    pivot_sets[i].resize(count);
-    for (auto& t : pivot_sets[i]) {
-      t = static_cast<graph::NodeId>(r.read_bits(id_width));
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kHierarchical, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+    const std::uint64_t levels = bitio::read_prime(r);
+    check(levels >= 2, DecodeErrorKind::kSemanticInvalid,
+          "hierarchy needs at least 2 levels");
+    check(levels <= n, DecodeErrorKind::kResourceLimit,
+          "more hierarchy levels than nodes");
+    std::vector<std::vector<graph::NodeId>> pivot_sets(
+        static_cast<std::size_t>(levels));
+    for (std::size_t i = 1; i < levels; ++i) {
+      const std::size_t count =
+          read_count(r, id_width, "pivot set larger than the payload");
+      check(count <= n, DecodeErrorKind::kSemanticInvalid,
+            "more pivots than nodes");
+      pivot_sets[i].resize(count);
+      for (auto& t : pivot_sets[i]) {
+        t = static_cast<graph::NodeId>(r.read_bits(id_width));
+        check(t < n, DecodeErrorKind::kSemanticInvalid,
+              "pivot id out of range");
+      }
     }
-  }
-  std::vector<bitio::BitVector> node_bits;
-  node_bits.reserve(h.n);
-  for (std::size_t u = 0; u < h.n; ++u) node_bits.push_back(read_bit_vector(r));
-  return HierarchicalScheme(g, std::move(pivot_sets), std::move(node_bits));
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) node_bits.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    return HierarchicalScheme(g, std::move(pivot_sets), std::move(node_bits));
+  });
 }
 
-SchemeKind peek_kind(const bitio::BitVector& artifact) {
-  BitReader r(artifact);
-  return read_header(r).kind;
+bitio::BitVector serialize(const SequentialSearchScheme& scheme) {
+  return record_serialize(frame(SchemeKind::kSequentialSearch,
+                                scheme.node_count(), bitio::BitVector()));
+}
+
+SequentialSearchScheme deserialize_sequential_search(
+    const bitio::BitVector& artifact, const graph::Graph& g) {
+  record_deserialize(artifact);
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kSequentialSearch, g);
+    check(payload.empty(), DecodeErrorKind::kSemanticInvalid,
+          "sequential-search payload must be empty");
+    return SequentialSearchScheme(g);
+  });
+}
+
+std::unique_ptr<model::RoutingScheme> deserialize_any(
+    const bitio::BitVector& artifact, const graph::Graph& g) {
+  SchemeKind kind;
+  try {
+    kind = peek_kind(artifact);
+  } catch (const DecodeError&) {
+    // Frame-level rejections below never reach a per-kind decoder (whose
+    // guard would count them), so count the attempt here.
+    obs::counter("artifact.decode_rejected").inc();
+    throw;
+  }
+  switch (kind) {
+    case SchemeKind::kCompactDiam2:
+      return std::make_unique<CompactDiam2Scheme>(
+          deserialize_compact_diam2(artifact, g));
+    case SchemeKind::kFullTable:
+      return std::make_unique<FullTableScheme>(
+          deserialize_full_table(artifact, g));
+    case SchemeKind::kHub:
+      return std::make_unique<HubScheme>(deserialize_hub(artifact, g));
+    case SchemeKind::kRoutingCenter:
+      return std::make_unique<RoutingCenterScheme>(
+          deserialize_routing_center(artifact, g));
+    case SchemeKind::kLandmark:
+      return std::make_unique<LandmarkScheme>(
+          deserialize_landmark(artifact, g));
+    case SchemeKind::kHierarchical:
+      return std::make_unique<HierarchicalScheme>(
+          deserialize_hierarchical(artifact, g));
+    case SchemeKind::kSequentialSearch:
+      return std::make_unique<SequentialSearchScheme>(
+          deserialize_sequential_search(artifact, g));
+  }
+  fail(DecodeErrorKind::kSemanticInvalid, "unknown scheme kind");
 }
 
 std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits) {
@@ -323,20 +567,30 @@ std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits) {
 }
 
 bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 8) {
-    throw std::invalid_argument("from_bytes: truncated header");
-  }
+  check(bytes.size() >= 8, DecodeErrorKind::kTruncated,
+        "from_bytes: truncated bit-count header");
   std::uint64_t count = 0;
   for (int i = 0; i < 8; ++i) {
     count |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)])
              << (8 * i);
   }
-  if (bytes.size() < 8 + (count + 7) / 8) {
-    throw std::invalid_argument("from_bytes: truncated payload");
+  // Bound the declared bit count by the actual payload *before* any
+  // allocation (the naive (count+7)/8 also overflows near 2^64).
+  const std::uint64_t payload_bytes = bytes.size() - 8;
+  check(count <= payload_bytes * 8, DecodeErrorKind::kTruncated,
+        "from_bytes: truncated payload");
+  check(payload_bytes == (count + 7) / 8, DecodeErrorKind::kSemanticInvalid,
+        "from_bytes: trailing bytes after the declared payload");
+  // Zero padding bits in the final partial byte are part of the format;
+  // a flipped padding bit is corruption, not slack.
+  if (count % 8 != 0) {
+    const std::uint8_t tail = bytes.back();
+    check((tail >> (count % 8)) == 0, DecodeErrorKind::kSemanticInvalid,
+          "from_bytes: nonzero padding bits");
   }
   bitio::BitVector bits;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint8_t byte = bytes[8 + i / 8];
+    const std::uint8_t byte = bytes[static_cast<std::size_t>(8 + i / 8)];
     bits.push_back((byte >> (i % 8)) & 1u);
   }
   return bits;
@@ -345,11 +599,25 @@ bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes) {
 void save_artifact(const std::string& path, const bitio::BitVector& bits) {
   obs::counter("schemes.artifact.saves").inc();
   const auto bytes = to_bytes(bits);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_artifact: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("save_artifact: write failed: " + path);
+  // Atomic write: stage into <path>.tmp and rename over the target, so a
+  // crash mid-write can never leave a torn artifact at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_artifact: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_artifact: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_artifact: rename failed: " + path);
+  }
 }
 
 bitio::BitVector load_artifact(const std::string& path) {

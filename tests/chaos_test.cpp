@@ -1,0 +1,217 @@
+// Corruption-chaos harness: thousands of seeded corruptions per scheme
+// kind, each of which must either round-trip bit-exactly or be rejected
+// with a typed DecodeError — never crash, never hang, never allocate
+// past the input, never hand a damaged scheme to the router.
+#include <gtest/gtest.h>
+
+#include "bitio/bit_stream.hpp"
+#include "bitio/codes.hpp"
+#include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "graph/generators.hpp"
+#include "model/verifier.hpp"
+#include "net/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "schemes/serialization.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+
+constexpr std::size_t kRoundsPerKind = 2048;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  graph::Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+/// One artifact under chaos: every seeded corruption either decodes to
+/// exactly the original bits (the corruption was a no-op draw, e.g. a
+/// splice that rewrote bits to their old values) or throws DecodeError.
+/// Anything else — a different exception, a crash, a decode of damaged
+/// bits — fails the test.
+void run_chaos(const bitio::BitVector& artifact, const Graph& g,
+               std::uint64_t base_seed) {
+  ASSERT_NO_THROW((void)schemes::deserialize_any(artifact, g));
+  std::size_t rejected = 0;
+  for (std::uint64_t i = 0; i < kRoundsPerKind; ++i) {
+    const std::uint64_t seed = core::point_seed(base_seed, 0xC0DE, i);
+    net::CorruptionReport report;
+    const bitio::BitVector bad = net::corrupt(artifact, seed, &report);
+    try {
+      const auto scheme = schemes::deserialize_any(bad, g);
+      ASSERT_NE(scheme, nullptr);
+      EXPECT_EQ(bad, artifact)
+          << "decoded corrupted bits: " << net::to_string(report.kind)
+          << " seed=" << seed << " begin=" << report.begin
+          << " count=" << report.count;
+    } catch (const schemes::DecodeError&) {
+      ++rejected;
+    }
+  }
+  // The menu is dominated by damaging draws; if almost nothing was
+  // rejected the harness is corrupting air.
+  EXPECT_GT(rejected, kRoundsPerKind / 2);
+}
+
+/// Flipping any single payload bit must be caught by the CRC — as a
+/// checksum mismatch specifically, before any semantic validation runs.
+void run_crc_sweep(const bitio::BitVector& artifact, const Graph& g) {
+  const schemes::ArtifactInfo info = schemes::inspect(artifact);
+  ASSERT_EQ(artifact.size(), schemes::kFrameHeaderBits + info.payload_bits);
+  for (std::size_t i = 0; i < info.payload_bits; ++i) {
+    const auto bad =
+        net::flip_bit(artifact, schemes::kFrameHeaderBits + i);
+    try {
+      (void)schemes::deserialize_any(bad, g);
+      FAIL() << "payload flip at bit " << i << " decoded";
+    } catch (const schemes::DecodeError& e) {
+      ASSERT_EQ(e.kind(), schemes::DecodeErrorKind::kChecksumMismatch)
+          << "payload flip at bit " << i << " raised " << e.what();
+    }
+  }
+  // Header flips must be rejected too (by magic/version/kind/n/length/CRC
+  // field checks — the taxonomy kind depends on which field is hit).
+  for (std::size_t i = 0; i < schemes::kFrameHeaderBits; ++i) {
+    EXPECT_THROW((void)schemes::deserialize_any(net::flip_bit(artifact, i), g),
+                 schemes::DecodeError)
+        << "header flip at bit " << i;
+  }
+}
+
+TEST(Chaos, CorruptionIsDeterministic) {
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::HubScheme(g));
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    net::CorruptionReport a, b;
+    EXPECT_EQ(net::corrupt(artifact, seed, &a), net::corrupt(artifact, seed, &b));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.begin, b.begin);
+    EXPECT_EQ(a.count, b.count);
+  }
+}
+
+TEST(Chaos, EveryCorruptionClassIsExercised) {
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::HubScheme(g));
+  std::vector<std::size_t> hits(net::kCorruptionKindCount, 0);
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    net::CorruptionReport report;
+    (void)net::corrupt(artifact, seed, &report);
+    ++hits[static_cast<std::size_t>(report.kind)];
+  }
+  for (std::size_t k = 0; k < net::kCorruptionKindCount; ++k) {
+    EXPECT_GT(hits[k], 0u) << net::to_string(
+        static_cast<net::CorruptionKind>(k));
+  }
+}
+
+TEST(Chaos, CompactDiam2) {
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::CompactDiam2Scheme(g, {}));
+  run_chaos(artifact, g, 1);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, FullTable) {
+  const Graph g = graph::grid(3, 3);
+  const auto artifact = schemes::serialize(schemes::FullTableScheme::standard(g));
+  run_chaos(artifact, g, 2);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, Hub) {
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::HubScheme(g));
+  run_chaos(artifact, g, 3);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, RoutingCenter) {
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::RoutingCenterScheme(g));
+  run_chaos(artifact, g, 4);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, Landmark) {
+  const Graph g = graph::grid(3, 3);
+  const auto artifact = schemes::serialize(schemes::LandmarkScheme(g));
+  run_chaos(artifact, g, 5);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, Hierarchical) {
+  const Graph g = graph::grid(4, 4);
+  schemes::HierarchicalOptions opt;
+  opt.levels = 2;
+  const auto artifact = schemes::serialize(schemes::HierarchicalScheme(g, opt));
+  run_chaos(artifact, g, 6);
+  run_crc_sweep(artifact, g);
+}
+
+TEST(Chaos, SequentialSearch) {
+  const Graph g = graph::grid(3, 3);
+  const auto artifact =
+      schemes::serialize(schemes::SequentialSearchScheme(g));
+  run_chaos(artifact, g, 7);
+  run_crc_sweep(artifact, g);  // empty payload: header flips only
+}
+
+TEST(Chaos, LegacyArtifactsAreChaosSafeToo) {
+  // v0 artifacts have no checksum, so corrupted ones may decode (the CRC
+  // sweep does not apply) — but decoding must still never crash, and any
+  // scheme it yields must have survived full semantic validation.
+  const Graph g = certified(16, 901);
+  const auto v1 = schemes::serialize(schemes::HubScheme(g));
+  const schemes::ArtifactInfo info = schemes::inspect(v1);
+  // Rebuild the equivalent v0 bits: ORT1 magic + prime(kind) + prime(n) +
+  // the same payload.
+  bitio::BitWriter w;
+  w.write_bits(schemes::kLegacyMagic, 32);
+  bitio::write_prime(w, static_cast<std::uint64_t>(info.kind));
+  bitio::write_prime(w, info.node_count);
+  for (std::size_t i = schemes::kFrameHeaderBits; i < v1.size(); ++i) {
+    w.write_bit(v1.get(i));
+  }
+  const bitio::BitVector v0 = w.take();
+  ASSERT_NO_THROW((void)schemes::deserialize_any(v0, g));
+  std::size_t decoded = 0;
+  for (std::uint64_t i = 0; i < kRoundsPerKind; ++i) {
+    const std::uint64_t seed = core::point_seed(77, 0xDEAD, i);
+    const bitio::BitVector bad = net::corrupt(v0, seed, nullptr);
+    try {
+      const auto scheme = schemes::deserialize_any(bad, g);
+      ASSERT_NE(scheme, nullptr);
+      ++decoded;
+      // A checksum-less decode can yield a *different* valid scheme (the
+      // motivation for the v1 CRC) — it may route suboptimally, but its
+      // query path must be exercisable without crashing.
+      (void)model::verify_scheme(g, *scheme);
+    } catch (const schemes::DecodeError&) {
+    }
+  }
+  EXPECT_LT(decoded, kRoundsPerKind);
+}
+
+TEST(Chaos, DecodeCountersTrackOutcomes) {
+  obs::ScopedRegistry scoped;
+  auto& reg = scoped.registry();
+  const Graph g = certified(16, 901);
+  const auto artifact = schemes::serialize(schemes::HubScheme(g));
+  (void)schemes::deserialize_any(artifact, g);
+  EXPECT_EQ(reg.counter_value("artifact.decode_ok"), 1u);
+  EXPECT_EQ(reg.counter_value("artifact.decode_rejected"), 0u);
+  EXPECT_EQ(reg.counter_value("artifact.crc_mismatch"), 0u);
+  const auto flipped =
+      net::flip_bit(artifact, schemes::kFrameHeaderBits);  // payload bit 0
+  EXPECT_THROW((void)schemes::deserialize_any(flipped, g),
+               schemes::DecodeError);
+  EXPECT_EQ(reg.counter_value("artifact.decode_ok"), 1u);
+  EXPECT_EQ(reg.counter_value("artifact.decode_rejected"), 1u);
+  EXPECT_EQ(reg.counter_value("artifact.crc_mismatch"), 1u);
+}
+
+}  // namespace
+}  // namespace optrt

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CLI-level artifact robustness: a corrupt or missing file must produce
+# exactly one diagnostic line naming the file and the DecodeError kind,
+# and exit 2; verify-artifact must exit 0 on intact artifacts.
+#
+# Usage: cli_artifact_test.sh <path-to-optrt_cli> <work-dir>
+set -u
+
+CLI=$1
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || exit 1
+
+failures=0
+
+# expect <wanted-exit> <stderr-substring|-> <one-line|-> -- cmd args...
+expect() {
+  local wanted=$1 substring=$2 oneline=$3
+  shift 4
+  local err rc
+  err=$("$@" 2>&1 >/dev/null)
+  rc=$?
+  if [ "$rc" -ne "$wanted" ]; then
+    echo "FAIL: '$*' exited $rc, wanted $wanted" >&2
+    echo "  stderr: $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$substring" != "-" ] && [[ "$err" != *"$substring"* ]]; then
+    echo "FAIL: '$*' stderr missing '$substring'" >&2
+    echo "  stderr: $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$oneline" = "oneline" ] && [ "$(printf '%s\n' "$err" | wc -l)" -gt 1 ]; then
+    echo "FAIL: '$*' printed more than one diagnostic line" >&2
+    echo "  stderr: $err" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Flips one bit of byte <offset> in <file>.
+flip_byte() {
+  local file=$1 offset=$2
+  local byte
+  byte=$(od -An -tu1 -j "$offset" -N 1 "$file" | tr -d ' ')
+  printf "$(printf '\\x%02x' $((byte ^ 1)))" |
+    dd of="$file" bs=1 seek="$offset" count=1 conv=notrunc status=none
+}
+
+# A healthy pipeline: generate, compile, inspect, verify, route.
+expect 0 - - -- "$CLI" generate uniform 16 --seed 3 --certified -o g.eg
+expect 0 - - -- "$CLI" compile g.eg --model II.alpha -o s.ort
+expect 0 - - -- "$CLI" verify-artifact s.ort
+expect 0 - - -- "$CLI" verify-artifact s.ort g.eg
+expect 0 - - -- "$CLI" route g.eg s.ort 0 5
+
+# Missing files: one line, exit 2.
+expect 2 "missing.ort" oneline -- "$CLI" verify-artifact missing.ort
+expect 2 "missing.eg" oneline -- "$CLI" info missing.eg
+
+# A flipped payload byte is a checksum mismatch: one line, exit 2, and the
+# diagnostic names both the file and the taxonomy kind.
+cp s.ort corrupt.ort
+size=$(wc -c < corrupt.ort)
+flip_byte corrupt.ort $((size - 4))
+expect 2 "corrupt.ort" oneline -- "$CLI" verify-artifact corrupt.ort
+expect 2 "checksum-mismatch" oneline -- "$CLI" verify-artifact corrupt.ort
+expect 2 "checksum-mismatch" oneline -- "$CLI" route g.eg corrupt.ort 0 5
+expect 2 "checksum-mismatch" oneline -- "$CLI" verify g.eg corrupt.ort
+
+# A truncated artifact: one line, exit 2.
+head -c $((size / 2)) s.ort > short.ort
+expect 2 "truncated" oneline -- "$CLI" verify-artifact short.ort
+
+# Not an artifact at all (text): one line, exit 2.
+echo "hello world, this is not an artifact" > junk.ort
+expect 2 "junk.ort" oneline -- "$CLI" verify-artifact junk.ort
+
+# Corrupt graph file: one line, exit 2 from every command that loads it.
+cp g.eg corrupt.eg
+gsize=$(wc -c < corrupt.eg)
+head -c $((gsize - 3)) g.eg > corrupt.eg
+expect 2 "corrupt.eg" oneline -- "$CLI" info corrupt.eg
+expect 2 "corrupt.eg" oneline -- "$CLI" verify corrupt.eg s.ort
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI robustness check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI robustness checks passed"

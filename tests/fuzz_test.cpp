@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "schemes/compact_diam2.hpp"
 #include "schemes/full_table.hpp"
+#include "schemes/serialization.hpp"
 
 namespace optrt {
 namespace {
@@ -262,6 +263,57 @@ TEST(Fuzz, TamperedCompactTablesNeverCrashDecode) {
       (void)decoded;
     } catch (const std::exception&) {
       // Rejection is a valid outcome.
+    }
+  }
+}
+
+TEST(Fuzz, RandomArtifactBytesNeverCrashDecode) {
+  // from_bytes + deserialize_any over purely random byte buffers: every
+  // outcome is a typed DecodeError or (vanishingly unlikely) a valid
+  // decode — never a crash, hang, or hostile allocation.
+  Rng grng(909);
+  const Graph g = core::certified_random_graph(16, grng);
+  std::mt19937_64 rng(910);
+  std::size_t survived_transport = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const std::size_t len = static_cast<std::size_t>(rng() % 96);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    // Half the trials get a plausible length prefix so they reach the
+    // frame parser instead of dying at the transport layer.
+    if (len >= 8 && trial % 2 == 0) {
+      const std::uint64_t bits = (len - 8) * 8;
+      for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(bits >> (8 * i));
+      }
+    }
+    try {
+      const bitio::BitVector artifact = schemes::from_bytes(bytes);
+      ++survived_transport;
+      (void)schemes::deserialize_any(artifact, g);
+    } catch (const schemes::DecodeError&) {
+      // The only acceptable failure mode.
+    }
+  }
+  EXPECT_GT(survived_transport, 0u);
+}
+
+TEST(Fuzz, RandomBitStringsNeverCrashFrameInspection) {
+  std::mt19937_64 rng(911);
+  for (int trial = 0; trial < 4000; ++trial) {
+    bitio::BitVector bits;
+    const std::size_t len = static_cast<std::size_t>(rng() % 400);
+    for (std::size_t i = 0; i < len; ++i) bits.push_back(rng() & 1u);
+    // Half the trials start with a valid magic so the header parser runs.
+    if (len >= 32 && trial % 2 == 0) {
+      const std::uint32_t magic =
+          trial % 4 == 0 ? schemes::kFrameMagic : schemes::kLegacyMagic;
+      for (std::size_t i = 0; i < 32; ++i) bits.set(i, (magic >> i) & 1u);
+    }
+    try {
+      (void)schemes::inspect(bits);
+    } catch (const schemes::DecodeError&) {
     }
   }
 }

@@ -4,7 +4,8 @@
 # distance cache, sharded verifier, fault-injection sweeps) with
 # ThreadSanitizer and AddressSanitizer+UBSan. Mirrors what a GitHub
 # Actions job would run. The fault suites are also tagged for quick
-# selection with `ctest -L faults`.
+# selection with `ctest -L faults`, and the artifact-corruption suites
+# (seeded chaos harness + CLI integrity checks) with `ctest -L chaos`.
 #
 #   tools/ci.sh            # default + tsan + asan
 #   tools/ci.sh default    # just one stage
@@ -20,7 +21,8 @@ fi
 # The sanitizer stages only need the suites they gate on; building
 # everything under TSan would double CI time for no coverage.
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
-  faults_test resilience_test obs_test instrumentation_test)
+  faults_test resilience_test obs_test instrumentation_test
+  serialization_test chaos_test fuzz_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="

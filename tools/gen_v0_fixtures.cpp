@@ -1,0 +1,51 @@
+// One-shot generator for the pinned v0 (legacy, pre-framing) golden
+// artifacts in tests/serialization_test.cpp. Build it against a tree that
+// still has the v0 serializer and paste the hex it prints into the test.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "schemes/serialization.hpp"
+
+using namespace optrt;
+
+namespace {
+
+void dump(const char* name, const bitio::BitVector& artifact) {
+  const auto bytes = schemes::to_bytes(artifact);
+  std::printf("%s (%zu bytes):\n\"", name, bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::printf("%02x", bytes[i]);
+    if (i % 32 == 31 && i + 1 != bytes.size()) std::printf("\"\n\"");
+  }
+  std::printf("\"\n\n");
+}
+
+}  // namespace
+
+int main() {
+  {
+    graph::Rng rng(901);
+    const graph::Graph g = core::certified_random_graph(16, rng);
+    dump("compact_diam2 certified(16,901)",
+         schemes::serialize(schemes::CompactDiam2Scheme(g, {})));
+    dump("hub certified(16,901)", schemes::serialize(schemes::HubScheme(g)));
+    dump("routing_center certified(16,901)",
+         schemes::serialize(schemes::RoutingCenterScheme(g)));
+  }
+  {
+    const graph::Graph g = graph::grid(3, 3);
+    dump("full_table grid(3,3)",
+         schemes::serialize(schemes::FullTableScheme::standard(g)));
+    dump("landmark grid(3,3)",
+         schemes::serialize(schemes::LandmarkScheme(g)));
+  }
+  {
+    const graph::Graph g = graph::grid(4, 4);
+    schemes::HierarchicalOptions opt;
+    opt.levels = 2;
+    dump("hierarchical grid(4,4) levels=2",
+         schemes::serialize(schemes::HierarchicalScheme(g, opt)));
+  }
+  return 0;
+}
