@@ -49,6 +49,9 @@ using namespace optrt;
       "  optrt_cli info G.eg\n"
       "  optrt_cli compile G.eg [--model II.alpha] [--objective shortest] -o S.ort\n"
       "  optrt_cli route G.eg S.ort <src> <dst>\n"
+      "  optrt_cli route G.eg S.ort --batch PAIRS.txt [-o HOPS.txt]\n"
+      "      (PAIRS.txt: one 'src dst' pair per line; prints 'src dst hop'\n"
+      "       per line via the compiled fast path)\n"
       "  optrt_cli verify G.eg S.ort\n"
       "  optrt_cli verify-artifact S.ort [G.eg]\n"
       "  optrt_cli sizes G.eg\n"
@@ -92,6 +95,8 @@ struct Args {
   // sweep knobs.
   std::string ns_list = "16,24,32";
   std::size_t sweep_seeds = 3;
+  // route --batch input file.
+  std::optional<std::string> batch;
   // observability outputs.
   std::optional<std::string> metrics_json;
   std::optional<std::string> trace_json;
@@ -142,6 +147,8 @@ Args parse(int argc, char** argv) {
       args.ns_list = next();
     } else if (a == "--seeds") {
       args.sweep_seeds = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (a == "--batch") {
+      args.batch = next();
     } else if (a == "--metrics-json") {
       args.metrics_json = next();
     } else if (a == "--trace-json") {
@@ -316,7 +323,57 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
+/// route --batch: answer a whole pair file through the compiled fast path
+/// (one compile, then route_batch) instead of per-pair decoding.
+int cmd_route_batch(const Args& args) {
+  const graph::Graph g = cli_load_graph(args.positional[0]);
+  const auto scheme = load_scheme(args.positional[1], g);
+  const auto fast = scheme->compile_fast();
+
+  std::ifstream in(*args.batch);
+  if (!in) reject_file(*args.batch, "cannot open pair file");
+  std::vector<model::RoutePair> pairs;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> endpoints;
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::size_t line = 0;
+  while (in >> src >> dst) {
+    ++line;
+    if (src >= g.node_count() || dst >= g.node_count() || src == dst) {
+      std::cerr << "error: " << *args.batch << ": pair " << line
+                << " out of range or equal\n";
+      return 2;
+    }
+    endpoints.emplace_back(static_cast<graph::NodeId>(src),
+                           static_cast<graph::NodeId>(dst));
+    pairs.push_back({static_cast<graph::NodeId>(src),
+                     scheme->label_of(static_cast<graph::NodeId>(dst))});
+  }
+  std::vector<graph::NodeId> hops(pairs.size());
+  fast->route_batch(pairs, hops);
+
+  std::ofstream file_out;
+  if (args.output) {
+    file_out.open(*args.output);
+    if (!file_out) reject_file(*args.output, "cannot open output file");
+  }
+  std::ostream& out = args.output ? file_out : std::cout;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    out << endpoints[i].first << ' ' << endpoints[i].second << ' ' << hops[i]
+        << '\n';
+  }
+  std::cerr << "routed " << hops.size() << " pairs with the " << fast->name()
+            << " fast path\n";
+  return 0;
+}
+
 int cmd_route(const Args& args) {
+  if (args.batch) {
+    if (args.positional.size() != 2) {
+      usage("route --batch needs <graph> <scheme> --batch PAIRS.txt");
+    }
+    return cmd_route_batch(args);
+  }
   if (args.positional.size() != 4) {
     usage("route needs <graph> <scheme> <src> <dst>");
   }

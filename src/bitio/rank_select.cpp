@@ -1,0 +1,149 @@
+#include "bitio/rank_select.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace optrt::bitio {
+
+namespace {
+
+/// Position (0-based) of the k-th set bit of `w`. Precondition:
+/// k < popcount(w). Byte-wise scan, then a bit scan within the byte.
+std::size_t word_select1(std::uint64_t w, std::size_t k) {
+  for (std::size_t byte = 0; byte < 8; ++byte) {
+    const auto b = static_cast<unsigned>((w >> (8 * byte)) & 0xff);
+    const auto count = static_cast<std::size_t>(std::popcount(b));
+    if (k < count) {
+      unsigned rest = b;
+      for (std::size_t j = 0; j < k; ++j) rest &= rest - 1;  // clear k lowest
+      return 8 * byte +
+             static_cast<std::size_t>(std::countr_zero(rest));
+    }
+    k -= count;
+  }
+  return 64;  // unreachable when the precondition holds
+}
+
+}  // namespace
+
+RankSelect::RankSelect(BitVector bits) : bits_(std::move(bits)) {
+  const std::size_t nbits = bits_.size();
+  const std::size_t nblocks = (nbits + kBlockBits - 1) / kBlockBits;
+  block_rank_.assign(nblocks + 1, 0);
+  sub_rank_.assign(nblocks, 0);
+
+  std::size_t running = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    block_rank_[b] = running;
+    std::size_t in_block = 0;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+      if (w > 0) sub_rank_[b] |= static_cast<std::uint64_t>(in_block)
+                                 << (9 * (w - 1));
+      in_block += static_cast<std::size_t>(
+          std::popcount(word(b * kWordsPerBlock + w)));
+    }
+    running += in_block;
+  }
+  block_rank_[nblocks] = running;
+  ones_ = running;
+
+  // Sampled select hints: the block containing every kSelectSample-th
+  // one (resp. zero). Found by scanning block ranks once.
+  const std::size_t nzeros = nbits - ones_;
+  select1_hint_.reserve(ones_ / kSelectSample + 1);
+  select0_hint_.reserve(nzeros / kSelectSample + 1);
+  {
+    std::size_t b = 0;
+    for (std::size_t k = 0; k < ones_; k += kSelectSample) {
+      while (block_rank_[b + 1] <= k) ++b;
+      select1_hint_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  {
+    std::size_t b = 0;
+    const auto zeros_before = [&](std::size_t blk) {
+      return blk * kBlockBits - block_rank_[blk];
+    };
+    for (std::size_t k = 0; k < nzeros; k += kSelectSample) {
+      while (b + 1 < block_count() && zeros_before(b + 1) <= k) ++b;
+      select0_hint_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+}
+
+std::uint64_t RankSelect::word(std::size_t w) const noexcept {
+  const auto& words = bits_.words();
+  if (w >= words.size()) return 0;
+  std::uint64_t v = words[w];
+  // Mask stray bits past size() in the final partial word so popcounts
+  // only ever see live bits.
+  const std::size_t live = bits_.size() - 64 * w;
+  if (live < 64) v &= (std::uint64_t{1} << live) - 1;
+  return v;
+}
+
+std::size_t RankSelect::rank1(std::size_t i) const {
+  if (i > bits_.size()) {
+    throw std::out_of_range("RankSelect::rank1: position past end");
+  }
+  const std::size_t b = i / kBlockBits;
+  const std::size_t w = (i / 64) % kWordsPerBlock;
+  std::size_t r = (b < block_count() ? block_rank_[b] : ones_);
+  if (b >= block_count()) return r;
+  r += sub_rank(b, w);
+  const std::size_t off = i % 64;
+  if (off != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << off) - 1;
+    r += static_cast<std::size_t>(
+        std::popcount(word(b * kWordsPerBlock + w) & mask));
+  }
+  return r;
+}
+
+std::size_t RankSelect::rank0(std::size_t i) const { return i - rank1(i); }
+
+std::size_t RankSelect::select1(std::size_t k) const {
+  if (k >= ones_) {
+    throw std::out_of_range("RankSelect::select1: rank past population");
+  }
+  // Start at the sampled block, advance while the next block still
+  // begins at or below rank k, then resolve word and bit.
+  std::size_t b = select1_hint_[k / kSelectSample];
+  while (block_rank_[b + 1] <= k) ++b;
+  std::size_t rem = k - block_rank_[b];
+  std::size_t w = kWordsPerBlock - 1;
+  while (w > 0 && sub_rank(b, w) > rem) --w;
+  rem -= sub_rank(b, w);
+  const std::size_t word_index = b * kWordsPerBlock + w;
+  return 64 * word_index + word_select1(word(word_index), rem);
+}
+
+std::size_t RankSelect::select0(std::size_t k) const {
+  if (k >= zeros()) {
+    throw std::out_of_range("RankSelect::select0: rank past population");
+  }
+  const auto zeros_before = [&](std::size_t blk) {
+    return blk * kBlockBits - block_rank_[blk];
+  };
+  std::size_t b = select0_hint_[k / kSelectSample];
+  while (b + 1 < block_count() && zeros_before(b + 1) <= k) ++b;
+  std::size_t rem = k - zeros_before(b);
+  // Within-block zero subcounts derive from the one subcounts.
+  std::size_t w = kWordsPerBlock - 1;
+  const auto zero_sub = [&](std::size_t ww) { return 64 * ww - sub_rank(b, ww); };
+  while (w > 0 && zero_sub(w) > rem) --w;
+  rem -= zero_sub(w);
+  const std::size_t word_index = b * kWordsPerBlock + w;
+  // Live-bit masking: bits past size() read as zero in word(), but those
+  // phantom zeros are never selectable because k < zeros() bounds us to
+  // real positions... except in the final partial word, where ~word(i)
+  // would expose them. Select on the complement restricted to live bits.
+  std::uint64_t inverted = ~word(word_index);
+  const std::size_t base = 64 * word_index;
+  if (bits_.size() - base < 64) {
+    inverted &= (std::uint64_t{1} << (bits_.size() - base)) - 1;
+  }
+  return base + word_select1(inverted, rem);
+}
+
+}  // namespace optrt::bitio

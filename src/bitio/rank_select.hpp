@@ -1,0 +1,82 @@
+// Succinct rank/select directory over a BitVector — the query-side
+// counterpart of the entropy-bound tables.
+//
+// The paper compresses routing tables to the incompressibility bound; the
+// only way to *query* such bit strings fast is an o(n)-bit index giving
+// O(1) rank (broadword, rank9-style: one absolute count per 512-bit block
+// plus seven 9-bit within-block subcounts packed into a single word) and
+// near-O(1) select (one sampled block hint per 512 matching bits, then a
+// bounded block/word scan). The fast routing paths of src/model/fastpath
+// use rank to turn "position among the non-neighbours / vicinity members"
+// into a direct index into a bit-packed value array — no sequential
+// BitReader re-decoding on the hot path.
+//
+// Index overhead: 128 bits per 512-bit block (25%) plus the select
+// samples; construction is one linear pass. All queries are O(1) except
+// select's bounded scan of at most one block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bitio/bit_vector.hpp"
+
+namespace optrt::bitio {
+
+/// An immutable bit-vector with constant-time rank and sampled select.
+class RankSelect {
+ public:
+  RankSelect() = default;
+
+  /// Takes (a copy of) the bits and builds the directory in one pass.
+  explicit RankSelect(BitVector bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+  [[nodiscard]] std::size_t ones() const noexcept { return ones_; }
+  [[nodiscard]] std::size_t zeros() const noexcept {
+    return bits_.size() - ones_;
+  }
+  [[nodiscard]] bool get(std::size_t i) const noexcept { return bits_.get(i); }
+  [[nodiscard]] const BitVector& bits() const noexcept { return bits_; }
+
+  /// Number of one-bits in [0, i). Precondition: i <= size(); throws
+  /// std::out_of_range beyond.
+  [[nodiscard]] std::size_t rank1(std::size_t i) const;
+  /// Number of zero-bits in [0, i).
+  [[nodiscard]] std::size_t rank0(std::size_t i) const;
+
+  /// Position of the k-th one-bit (k = 0 is the first). Throws
+  /// std::out_of_range when k >= ones().
+  [[nodiscard]] std::size_t select1(std::size_t k) const;
+  /// Position of the k-th zero-bit. Throws std::out_of_range when
+  /// k >= zeros().
+  [[nodiscard]] std::size_t select0(std::size_t k) const;
+
+ private:
+  // 512-bit blocks: absolute rank before the block, plus the seven
+  // cumulative within-block word subcounts at 9 bits each.
+  static constexpr std::size_t kBlockBits = 512;
+  static constexpr std::size_t kWordsPerBlock = kBlockBits / 64;
+  static constexpr std::size_t kSelectSample = 512;
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return block_rank_.size();
+  }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept;
+  /// Ones before word `w` of block `b` (relative to the block start).
+  [[nodiscard]] std::size_t sub_rank(std::size_t b,
+                                     std::size_t w) const noexcept {
+    return w == 0 ? 0 : (sub_rank_[b] >> (9 * (w - 1))) & 0x1ff;
+  }
+
+  BitVector bits_;
+  std::size_t ones_ = 0;
+  std::vector<std::uint64_t> block_rank_;  // ones before each block
+  std::vector<std::uint64_t> sub_rank_;    // packed 9-bit word subcounts
+  // Block index containing the (k·kSelectSample)-th one/zero bit.
+  std::vector<std::uint32_t> select1_hint_;
+  std::vector<std::uint32_t> select0_hint_;
+};
+
+}  // namespace optrt::bitio

@@ -19,12 +19,14 @@
 #include "bitio/arith.hpp"
 #include "bitio/codes.hpp"
 #include "bitio/entropy.hpp"
+#include "bitio/rank_select.hpp"
 #include "core/experiment.hpp"
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/cover.hpp"
+#include "graph/csr.hpp"
 #include "graph/encoding.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -42,6 +44,7 @@
 #include "incompressibility/theorem7.hpp"
 #include "incompressibility/theorem8.hpp"
 #include "incompressibility/theorem9.hpp"
+#include "model/fastpath.hpp"
 #include "model/models.hpp"
 #include "model/scheme.hpp"
 #include "model/verifier.hpp"

@@ -1,0 +1,53 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace optrt::graph {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const std::size_t n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + g.neighbors(u).size();
+  }
+  neighbors_.resize(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    std::copy(nbrs.begin(), nbrs.end(), neighbors_.begin() + offsets_[u]);
+  }
+  sorted_slices_ = true;
+}
+
+CsrGraph CsrGraph::from_ports(const PortAssignment& ports) {
+  CsrGraph csr;
+  const std::size_t n = ports.node_count();
+  csr.offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    csr.offsets_[u + 1] = csr.offsets_[u] + ports.degree(u);
+  }
+  csr.neighbors_.resize(csr.offsets_[n]);
+  csr.sorted_slices_ = true;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto slice = ports.ports(u);
+    std::copy(slice.begin(), slice.end(),
+              csr.neighbors_.begin() + csr.offsets_[u]);
+    csr.sorted_slices_ =
+        csr.sorted_slices_ && std::is_sorted(slice.begin(), slice.end());
+  }
+  return csr;
+}
+
+std::size_t CsrGraph::arc_index(NodeId u, NodeId v) const noexcept {
+  const auto begin = neighbors_.begin() + offsets_[u];
+  const auto end = neighbors_.begin() + offsets_[u + 1];
+  if (sorted_slices_) {
+    const auto it = std::lower_bound(begin, end, v);
+    if (it == end || *it != v) return kNoArc;
+    return static_cast<std::size_t>(it - neighbors_.begin());
+  }
+  const auto it = std::find(begin, end, v);
+  if (it == end) return kNoArc;
+  return static_cast<std::size_t>(it - neighbors_.begin());
+}
+
+}  // namespace optrt::graph

@@ -1,0 +1,78 @@
+// Compressed sparse row (CSR) view of a Graph: one offsets array plus one
+// packed neighbour array, built once and then read with unit-stride loads.
+//
+// The adjacency-matrix rows of Graph answer has_edge in O(1) but cost n
+// bits per row to walk; the per-node neighbour vectors answer walks but
+// scatter allocations across the heap. The hot paths — fast routing
+// lookups (src/model/fastpath) and the simulator's per-hop link
+// bookkeeping — want both locality and O(1) port indexing, which is what
+// this flat form provides. Arcs (directed edge slots) get consecutive ids,
+// so per-link state becomes a plain vector indexed by arc id instead of a
+// hash map keyed by the node pair.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ports.hpp"
+
+namespace optrt::graph {
+
+/// Immutable CSR adjacency: offsets_[u] .. offsets_[u+1] delimit the
+/// neighbour slice of u inside one packed array.
+class CsrGraph {
+ public:
+  /// Arc id returned by arc_index() when (u, v) is not an edge.
+  static constexpr std::size_t kNoArc = static_cast<std::size_t>(-1);
+
+  CsrGraph() = default;
+
+  /// Neighbour slices in increasing node-id order (mirrors
+  /// Graph::neighbors); arc_index() can binary-search.
+  explicit CsrGraph(const Graph& g);
+
+  /// Neighbour slices in port order: neighbor_at(u, p) is the neighbour
+  /// reached over port p. Slices are only sorted if the assignment is.
+  [[nodiscard]] static CsrGraph from_ports(const PortAssignment& ports);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Total number of directed arcs (twice the edge count).
+  [[nodiscard]] std::size_t arc_count() const noexcept {
+    return neighbors_.size();
+  }
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return {neighbors_.data() + offsets_[u], degree(u)};
+  }
+  /// Neighbour at position p of u's slice (the port-p neighbour when
+  /// built from_ports).
+  [[nodiscard]] NodeId neighbor_at(NodeId u, std::uint32_t p) const noexcept {
+    return neighbors_[offsets_[u] + p];
+  }
+  /// First arc id of u's slice.
+  [[nodiscard]] std::size_t arc_begin(NodeId u) const noexcept {
+    return offsets_[u];
+  }
+
+  /// Dense id of the directed arc u→v, or kNoArc when v is not a
+  /// neighbour of u. Binary search on sorted slices, linear otherwise.
+  [[nodiscard]] std::size_t arc_index(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept {
+    return arc_index(u, v) != kNoArc;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // n + 1 entries
+  std::vector<NodeId> neighbors_;       // packed slices
+  bool sorted_slices_ = true;
+};
+
+}  // namespace optrt::graph

@@ -1,0 +1,106 @@
+#include "model/fastpath.hpp"
+
+#include <stdexcept>
+
+#include "model/scheme.hpp"
+#include "obs/metrics.hpp"
+
+namespace optrt::model {
+
+void FastPath::route_batch(std::span<const RoutePair> pairs,
+                           std::span<graph::NodeId> out_hops) const {
+  if (pairs.size() != out_hops.size()) {
+    throw std::invalid_argument(
+        "FastPath::route_batch: pairs/out_hops length mismatch");
+  }
+  batch_impl(pairs, out_hops);
+  obs::counter("lookup.batches").inc();
+  obs::counter("lookup.pairs").inc(pairs.size());
+}
+
+void FastPath::batch_impl(std::span<const RoutePair> pairs,
+                          std::span<graph::NodeId> out_hops) const {
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out_hops[i] = next_hop(pairs[i].src, pairs[i].dst_label);
+  }
+}
+
+namespace {
+
+class FallbackFastPath final : public FastPath {
+ public:
+  explicit FallbackFastPath(const RoutingScheme& scheme) : scheme_(&scheme) {}
+
+  [[nodiscard]] std::string name() const override { return scheme_->name(); }
+  [[nodiscard]] std::size_t node_count() const override {
+    return scheme_->node_count();
+  }
+  [[nodiscard]] graph::NodeId next_hop(
+      graph::NodeId u, graph::NodeId dest_label) const override {
+    MessageHeader header;
+    return scheme_->next_hop(u, dest_label, header);
+  }
+
+ private:
+  const RoutingScheme* scheme_;
+};
+
+}  // namespace
+
+std::unique_ptr<FastPath> make_fallback_fastpath(const RoutingScheme& scheme) {
+  note_fastpath_compiled("fallback");
+  return std::make_unique<FallbackFastPath>(scheme);
+}
+
+void note_fastpath_compiled(const std::string& tag) {
+  obs::counter("lookup.compiled").inc();
+  obs::counter("lookup.compiled." + tag).inc();
+}
+
+PackedValueArray::PackedValueArray(std::span<const std::uint32_t> values,
+                                   unsigned width)
+    : size_(values.size()), width_(width) {
+  if (width_ > 57) {
+    throw std::invalid_argument("PackedValueArray: width > 57 unsupported");
+  }
+  const std::uint64_t limit =
+      width_ >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width_);
+  // +1 slack word keeps read_packed's unconditional second load in bounds.
+  words_.assign((size_ * width_ + 63) / 64 + 1, 0);
+  std::size_t pos = 0;
+  for (const std::uint32_t v : values) {
+    if (v >= limit) {
+      throw std::invalid_argument("PackedValueArray: value exceeds width");
+    }
+    const std::size_t w = pos >> 6;
+    const unsigned off = static_cast<unsigned>(pos & 63);
+    words_[w] |= static_cast<std::uint64_t>(v) << off;
+    if (off + width_ > 64) {
+      words_[w + 1] |= static_cast<std::uint64_t>(v) >> (64 - off);
+    }
+    pos += width_;
+  }
+}
+
+PackedSparseArray::PackedSparseArray(bitio::BitVector mask,
+                                     std::span<const std::uint32_t> values,
+                                     unsigned width) {
+  if (mask.popcount() != values.size()) {
+    throw std::invalid_argument(
+        "PackedSparseArray: values must align with mask population");
+  }
+  mask_ = bitio::RankSelect(std::move(mask));
+  values_ = PackedValueArray(values, width);
+}
+
+}  // namespace optrt::model
+
+// The default compiled form for schemes without a bespoke one lives here
+// so scheme.cpp stays header-layout only.
+namespace optrt::model {
+
+std::unique_ptr<FastPath> RoutingScheme::compile_fast() const {
+  return make_fallback_fastpath(*this);
+}
+
+}  // namespace optrt::model

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "model/models.hpp"
 
 namespace optrt::model {
+
+class FastPath;
 
 using graph::NodeId;
 
@@ -86,6 +89,13 @@ class RoutingScheme {
 
   /// Space used by this scheme under its model's accounting.
   [[nodiscard]] virtual SpaceReport space() const = 0;
+
+  /// Compiles the query-optimized form of this scheme (model/fastpath.hpp):
+  /// first hops identical to next_hop with a fresh MessageHeader. The
+  /// serializable schemes return self-contained compiled tables; the base
+  /// default returns a generic wrapper that borrows this scheme (the
+  /// scheme must then outlive the fast path).
+  [[nodiscard]] virtual std::unique_ptr<FastPath> compile_fast() const;
 
   /// The neighbours of `u` in the scheme's own port order — the
   /// enumeration a deflection policy consults when the primary hop is

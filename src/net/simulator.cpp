@@ -19,7 +19,10 @@ Simulator::Simulator(const graph::Graph& g, const model::RoutingScheme& scheme,
     : g_(&g),
       scheme_(&scheme),
       full_info_(dynamic_cast<const model::FullInformationRouting*>(&scheme)),
-      config_(config) {
+      config_(config),
+      csr_(g),
+      link_free_at_(csr_.arc_count(), 0),
+      link_load_(csr_.arc_count(), 0) {
   if (config_.max_hops == 0) {
     config_.max_hops = model::default_hop_budget(g.node_count());
   }
@@ -90,9 +93,8 @@ void Simulator::apply_faults_until(std::uint64_t now) {
 }
 
 std::uint64_t Simulator::link_load(NodeId u, NodeId v) const {
-  const auto it =
-      link_load_.find(static_cast<std::uint64_t>(u) * g_->node_count() + v);
-  return it == link_load_.end() ? 0 : it->second;
+  const std::size_t arc = csr_.arc_index(u, v);
+  return arc == graph::CsrGraph::kNoArc ? 0 : link_load_[arc];
 }
 
 std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
@@ -230,13 +232,16 @@ SimulationStats Simulator::run() {
     ++record.hops;
     c_hops.inc();
     e.header.came_from = e.at;
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(e.at) * g_->node_count() + *hop;
-    const std::uint64_t load = ++link_load_[key];
+    const std::size_t arc = csr_.arc_index(e.at, *hop);
+    if (arc == graph::CsrGraph::kNoArc) {
+      throw std::logic_error(
+          "Simulator: scheme returned a non-neighbour next hop");
+    }
+    const std::uint64_t load = ++link_load_[arc];
     stats.max_link_load = std::max(stats.max_link_load, load);
     std::uint64_t depart = e.time;
     if (config_.serialize_links) {
-      std::uint64_t& free_at = link_free_at_[key];
+      std::uint64_t& free_at = link_free_at_[arc];
       depart = std::max(depart, free_at);
       free_at = depart + config_.link_latency;
     }

@@ -14,10 +14,10 @@
 #include <memory>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "model/scheme.hpp"
 #include "net/faults.hpp"
@@ -166,10 +166,14 @@ class Simulator {
   bool fault_schedule_dirty_ = false;
   std::unordered_set<std::uint64_t> failed_links_;  // edge_index keys
   std::unordered_set<NodeId> failed_nodes_;
-  // serialize_links: earliest next departure per *directed* link.
-  std::unordered_map<std::uint64_t, std::uint64_t> link_free_at_;
-  // Messages per directed link (key: u·n + v), across runs.
-  std::unordered_map<std::uint64_t, std::uint64_t> link_load_;
+  // Per-directed-link state lives in flat arrays indexed by the CSR arc
+  // id of u → v — the event loop does one binary search per hop instead
+  // of hashing, and the arrays stay cache-resident across hops.
+  graph::CsrGraph csr_;
+  // serialize_links: earliest next departure per directed link.
+  std::vector<std::uint64_t> link_free_at_;
+  // Messages per directed link, across runs.
+  std::vector<std::uint64_t> link_load_;
 };
 
 }  // namespace optrt::net

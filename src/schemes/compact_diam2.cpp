@@ -1,6 +1,11 @@
 #include "schemes/compact_diam2.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "bitio/codes.hpp"
+#include "model/fastpath.hpp"
+#include "schemes/succinct_node_table.hpp"
 
 namespace optrt::schemes {
 
@@ -68,6 +73,45 @@ NodeId CompactDiam2Scheme::next_hop(NodeId u, NodeId dest_label,
     throw std::invalid_argument("CompactDiam2Scheme: routing to self");
   }
   return hop;
+}
+
+namespace {
+
+class CompactDiam2FastPath final : public model::FastPath {
+ public:
+  explicit CompactDiam2FastPath(std::vector<model::PackedSparseArray> tables)
+      : tables_(std::move(tables)) {}
+
+  [[nodiscard]] std::string name() const override { return "compact-diam2"; }
+  [[nodiscard]] std::size_t node_count() const override {
+    return tables_.size();
+  }
+
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    if (dest_label == u) {
+      throw std::invalid_argument("CompactDiam2Scheme: routing to self");
+    }
+    const auto& table = tables_[u];
+    if (table.contains(dest_label)) {
+      return static_cast<NodeId>(table.value(dest_label));
+    }
+    return dest_label;  // direct destination (a neighbour of u)
+  }
+
+ private:
+  std::vector<model::PackedSparseArray> tables_;
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> CompactDiam2Scheme::compile_fast() const {
+  std::vector<model::PackedSparseArray> tables;
+  tables.reserve(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    tables.push_back(compile_node_table(u, decoded_[u].next_of));
+  }
+  model::note_fastpath_compiled("compact_diam2");
+  return std::make_unique<CompactDiam2FastPath>(std::move(tables));
 }
 
 model::SpaceReport CompactDiam2Scheme::space() const {

@@ -44,6 +44,9 @@ class CompactDiam2Scheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  /// Compiled form: per node, a rank-indexed sparse table of the routed
+  /// (non-neighbour) destinations; direct destinations answer themselves.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   /// Serialized local routing function of `u` (exactly what next_hop
   /// decodes).

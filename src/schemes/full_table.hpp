@@ -47,6 +47,9 @@ class FullTableScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  /// Compiled form: all tables concatenated into one word array read with
+  /// word-aligned extraction, plus a port-order CSR for port → neighbour.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   /// The serialized table of node u (n fixed-width port entries).
   [[nodiscard]] const bitio::BitVector& function_bits(NodeId u) const {

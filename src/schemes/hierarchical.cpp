@@ -10,6 +10,8 @@
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "model/fastpath.hpp"
 #include "schemes/errors.hpp"
 
 namespace optrt::schemes {
@@ -264,6 +266,78 @@ NodeId HierarchicalScheme::next_hop(NodeId u, NodeId dest_label,
     if (const int e = resolve(u, t); e >= 0) return follow(t, e);
   }
   throw std::logic_error("HierarchicalScheme: unresolvable destination");
+}
+
+namespace {
+
+class HierarchicalFastPath final : public model::FastPath {
+ public:
+  HierarchicalFastPath(std::size_t n, std::size_t levels,
+                       std::vector<model::PackedSparseArray> tables,
+                       std::vector<std::vector<NodeId>> pivot_of,
+                       graph::CsrGraph csr)
+      : n_(n),
+        levels_(levels),
+        tables_(std::move(tables)),
+        pivot_of_(std::move(pivot_of)),
+        csr_(std::move(csr)) {}
+
+  [[nodiscard]] std::string name() const override { return "hierarchical"; }
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+
+  // The fresh-header decision ladder of HierarchicalScheme::next_hop:
+  // destination first, then its pivots bottom-up, with the handoff throw
+  // when u is the pivot but the installed leg is missing.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    const NodeId v = dest_label;
+    if (v == u) {
+      throw std::invalid_argument("HierarchicalScheme: routing to self");
+    }
+    const auto& table = tables_[u];
+    const auto follow = [&](NodeId target) {
+      return csr_.neighbor_at(u,
+                              static_cast<graph::PortId>(table.value(target)));
+    };
+    if (table.contains(v)) return follow(v);
+    for (std::size_t i = 1; i < levels_; ++i) {
+      const NodeId t = pivot_of_[i][v];
+      if (t == u) {
+        const NodeId x = pivot_of_[i - 1][v];
+        if (x == u || !table.contains(x)) {
+          throw std::logic_error("HierarchicalScheme: missing handoff entry");
+        }
+        return follow(x);
+      }
+      if (table.contains(t)) return follow(t);
+    }
+    throw std::logic_error("HierarchicalScheme: unresolvable destination");
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t levels_;
+  std::vector<model::PackedSparseArray> tables_;
+  std::vector<std::vector<NodeId>> pivot_of_;
+  graph::CsrGraph csr_;  // sorted = port order for this scheme
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> HierarchicalScheme::compile_fast() const {
+  std::vector<model::PackedSparseArray> tables;
+  tables.reserve(n_);
+  for (NodeId w = 0; w < n_; ++w) {
+    const unsigned port_width =
+        bitio::ceil_log2(std::max<std::size_t>(ports_.degree(w), 1));
+    const DecodedNode& node = decoded_[w];
+    bitio::BitVector mask(n_);
+    for (NodeId t : node.targets) mask.set(t, true);
+    tables.emplace_back(std::move(mask), node.port_for, port_width);
+  }
+  model::note_fastpath_compiled("hierarchical");
+  return std::make_unique<HierarchicalFastPath>(
+      n_, levels_, std::move(tables), pivot_of_,
+      graph::CsrGraph::from_ports(ports_));
 }
 
 std::vector<NodeId> HierarchicalScheme::port_enumeration(NodeId u) const {

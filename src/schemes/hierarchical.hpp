@@ -62,6 +62,10 @@ class HierarchicalScheme final : public model::RoutingScheme {
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
   [[nodiscard]] std::vector<NodeId> port_enumeration(NodeId u) const override;
+  /// Compiled form: per node, a rank-indexed target membership vector with
+  /// bit-packed ports, walking the same bottom-up pivot ladder as a fresh
+  /// next_hop.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   [[nodiscard]] std::size_t levels() const { return levels_; }
   [[nodiscard]] const std::vector<NodeId>& pivots(std::size_t level) const {

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
+#include "model/fastpath.hpp"
 #include "schemes/errors.hpp"
+#include "schemes/succinct_node_table.hpp"
 
 namespace optrt::schemes {
 
@@ -111,6 +114,51 @@ NodeId HubScheme::next_hop(NodeId u, NodeId dest_label,
   if (u == hub_) return hub_table_.next_of[dest_label];
   if (hub_neighbor_[u]) return hub_;
   return toward_hub_[u];
+}
+
+namespace {
+
+class HubFastPath final : public model::FastPath {
+ public:
+  HubFastPath(std::size_t n, NodeId hub, model::AdjacencyBits adjacency,
+              model::PackedSparseArray hub_table,
+              std::vector<NodeId> toward_hub)
+      : n_(n),
+        hub_(hub),
+        adjacency_(std::move(adjacency)),
+        hub_table_(std::move(hub_table)),
+        toward_hub_(std::move(toward_hub)) {}
+
+  [[nodiscard]] std::string name() const override { return "hub"; }
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    if (dest_label == u) {
+      throw std::invalid_argument("HubScheme: routing to self");
+    }
+    if (adjacency_.has_edge(u, dest_label)) return dest_label;
+    if (u == hub_) {
+      return static_cast<NodeId>(hub_table_.value(dest_label));
+    }
+    if (adjacency_.has_edge(u, hub_)) return hub_;
+    return toward_hub_[u];
+  }
+
+ private:
+  std::size_t n_;
+  NodeId hub_;
+  model::AdjacencyBits adjacency_;
+  model::PackedSparseArray hub_table_;
+  std::vector<NodeId> toward_hub_;
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> HubScheme::compile_fast() const {
+  model::note_fastpath_compiled("hub");
+  return std::make_unique<HubFastPath>(
+      n_, hub_, model::AdjacencyBits(*g_),
+      compile_node_table(hub_, hub_table_.next_of), toward_hub_);
 }
 
 model::SpaceReport HubScheme::space() const {

@@ -41,6 +41,9 @@ class HubScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  /// Compiled form: adjacency bit-matrix + the hub's rank-indexed sparse
+  /// table + flat toward-hub hops.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   [[nodiscard]] NodeId hub() const { return hub_; }
   [[nodiscard]] unsigned rank_width() const { return rank_width_; }

@@ -8,6 +8,8 @@
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "model/fastpath.hpp"
 #include "schemes/errors.hpp"
 
 namespace optrt::schemes {
@@ -194,6 +196,70 @@ NodeId LandmarkScheme::next_hop(NodeId u, NodeId dest_label,
   }
   const NodeId l = landmark_of_[v];  // from the destination's label
   return ports_.neighbor_at(u, node.landmark_port[landmark_index_[l]]);
+}
+
+namespace {
+
+class LandmarkFastPath final : public model::FastPath {
+ public:
+  LandmarkFastPath(std::size_t n,
+                   std::vector<model::PackedSparseArray> vicinity,
+                   std::vector<model::PackedValueArray> landmark_ports,
+                   std::vector<NodeId> landmark_of,
+                   std::vector<std::uint32_t> landmark_index,
+                   graph::CsrGraph csr)
+      : n_(n),
+        vicinity_(std::move(vicinity)),
+        landmark_ports_(std::move(landmark_ports)),
+        landmark_of_(std::move(landmark_of)),
+        landmark_index_(std::move(landmark_index)),
+        csr_(std::move(csr)) {}
+
+  [[nodiscard]] std::string name() const override { return "landmark"; }
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    const NodeId v = dest_label;
+    if (v == u) throw std::invalid_argument("LandmarkScheme: routing to self");
+    const auto& vic = vicinity_[u];
+    if (vic.contains(v)) {
+      return csr_.neighbor_at(u, static_cast<graph::PortId>(vic.value(v)));
+    }
+    const NodeId l = landmark_of_[v];
+    const auto port = static_cast<graph::PortId>(
+        landmark_ports_[u].at(landmark_index_[l]));
+    return csr_.neighbor_at(u, port);
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<model::PackedSparseArray> vicinity_;
+  std::vector<model::PackedValueArray> landmark_ports_;
+  std::vector<NodeId> landmark_of_;
+  std::vector<std::uint32_t> landmark_index_;
+  graph::CsrGraph csr_;  // sorted = port order for this scheme
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> LandmarkScheme::compile_fast() const {
+  std::vector<model::PackedSparseArray> vicinity;
+  std::vector<model::PackedValueArray> landmark_ports;
+  vicinity.reserve(n_);
+  landmark_ports.reserve(n_);
+  for (NodeId w = 0; w < n_; ++w) {
+    const unsigned port_width =
+        bitio::ceil_log2(std::max<std::size_t>(ports_.degree(w), 1));
+    const DecodedNode& node = decoded_[w];
+    bitio::BitVector mask(n_);
+    for (NodeId v : node.vicinity_ids) mask.set(v, true);
+    vicinity.emplace_back(std::move(mask), node.vicinity_port, port_width);
+    landmark_ports.emplace_back(node.landmark_port, port_width);
+  }
+  model::note_fastpath_compiled("landmark");
+  return std::make_unique<LandmarkFastPath>(
+      n_, std::move(vicinity), std::move(landmark_ports), landmark_of_,
+      landmark_index_, graph::CsrGraph::from_ports(ports_));
 }
 
 model::SpaceReport LandmarkScheme::space() const {

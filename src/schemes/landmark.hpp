@@ -62,6 +62,9 @@ class LandmarkScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  /// Compiled form: per node, a rank-indexed vicinity membership vector
+  /// plus bit-packed landmark ports, resolved through a port-order CSR.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   [[nodiscard]] const std::vector<NodeId>& landmarks() const {
     return landmarks_;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
 #include "graph/cover.hpp"
+#include "model/fastpath.hpp"
 #include "schemes/errors.hpp"
+#include "schemes/succinct_node_table.hpp"
 
 namespace optrt::schemes {
 
@@ -110,6 +113,63 @@ NodeId RoutingCenterScheme::next_hop(NodeId u, NodeId dest_label,
     return decoded_[u].next_of[dest_label];
   }
   return my_center_[u];
+}
+
+namespace {
+
+class RoutingCenterFastPath final : public model::FastPath {
+ public:
+  RoutingCenterFastPath(std::size_t n, model::AdjacencyBits adjacency,
+                        bitio::RankSelect in_b,
+                        std::vector<model::PackedSparseArray> center_tables,
+                        std::vector<NodeId> my_center)
+      : n_(n),
+        adjacency_(std::move(adjacency)),
+        in_b_(std::move(in_b)),
+        center_tables_(std::move(center_tables)),
+        my_center_(std::move(my_center)) {}
+
+  [[nodiscard]] std::string name() const override { return "routing-center"; }
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    if (dest_label == u) {
+      throw std::invalid_argument("RoutingCenterScheme: routing to self");
+    }
+    if (adjacency_.has_edge(u, dest_label)) return dest_label;
+    if (in_b_.get(u)) {
+      // Dense table slot of this center = its rank within B.
+      const auto& table = center_tables_[in_b_.rank1(u)];
+      if (table.contains(dest_label)) {
+        return static_cast<NodeId>(table.value(dest_label));
+      }
+      return dest_label;
+    }
+    return my_center_[u];
+  }
+
+ private:
+  std::size_t n_;
+  model::AdjacencyBits adjacency_;
+  bitio::RankSelect in_b_;
+  std::vector<model::PackedSparseArray> center_tables_;
+  std::vector<NodeId> my_center_;
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> RoutingCenterScheme::compile_fast() const {
+  bitio::BitVector in_b(n_);
+  for (NodeId b : center_ids_) in_b.set(b, true);
+  std::vector<model::PackedSparseArray> tables;
+  tables.reserve(center_ids_.size());
+  for (NodeId b : center_ids_) {
+    tables.push_back(compile_node_table(b, decoded_[b].next_of));
+  }
+  model::note_fastpath_compiled("routing_center");
+  return std::make_unique<RoutingCenterFastPath>(
+      n_, model::AdjacencyBits(*g_), bitio::RankSelect(std::move(in_b)),
+      std::move(tables), my_center_);
 }
 
 model::SpaceReport RoutingCenterScheme::space() const {

@@ -38,6 +38,9 @@ class RoutingCenterScheme final : public model::RoutingScheme {
   [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label,
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
+  /// Compiled form: adjacency bit-matrix, rank-indexed sparse tables at
+  /// the centers, flat center hops elsewhere.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   [[nodiscard]] const std::vector<NodeId>& centers() const { return center_ids_; }
   [[nodiscard]] const bitio::BitVector& function_bits(NodeId u) const {

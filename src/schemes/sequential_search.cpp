@@ -1,11 +1,53 @@
 #include "schemes/sequential_search.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "graph/csr.hpp"
+#include "model/fastpath.hpp"
 
 namespace optrt::schemes {
 
 SequentialSearchScheme::SequentialSearchScheme(const graph::Graph& g)
     : g_(&g) {}
+
+namespace {
+
+class SequentialSearchFastPath final : public model::FastPath {
+ public:
+  SequentialSearchFastPath(model::AdjacencyBits adjacency, graph::CsrGraph csr)
+      : adjacency_(std::move(adjacency)), csr_(std::move(csr)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "sequential-search";
+  }
+  [[nodiscard]] std::size_t node_count() const override {
+    return csr_.node_count();
+  }
+
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest_label) const override {
+    if (dest_label == u) {
+      throw std::invalid_argument("SequentialSearchScheme: routing to self");
+    }
+    if (adjacency_.has_edge(u, dest_label)) return dest_label;
+    if (csr_.degree(u) == 0) {
+      throw std::invalid_argument("SequentialSearchScheme: isolated node");
+    }
+    return csr_.neighbor_at(u, 0);  // launch the first probe
+  }
+
+ private:
+  model::AdjacencyBits adjacency_;
+  graph::CsrGraph csr_;  // sorted neighbour slices
+};
+
+}  // namespace
+
+std::unique_ptr<model::FastPath> SequentialSearchScheme::compile_fast() const {
+  model::note_fastpath_compiled("sequential_search");
+  return std::make_unique<SequentialSearchFastPath>(model::AdjacencyBits(*g_),
+                                                    graph::CsrGraph(*g_));
+}
 
 NodeId SequentialSearchScheme::next_hop(NodeId u, NodeId dest_label,
                                         model::MessageHeader& header) const {

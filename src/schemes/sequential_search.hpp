@@ -36,6 +36,9 @@ class SequentialSearchScheme final : public model::RoutingScheme {
                                 model::MessageHeader& header) const override;
   [[nodiscard]] model::SpaceReport space() const override;
   [[nodiscard]] std::vector<NodeId> port_enumeration(NodeId u) const override;
+  /// Compiled form of the first (at-source) decision: adjacency bit test,
+  /// else the least neighbour from a CSR slice.
+  [[nodiscard]] std::unique_ptr<model::FastPath> compile_fast() const override;
 
   // Header phases.
   static constexpr std::uint32_t kAtSource = 0;

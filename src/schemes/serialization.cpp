@@ -547,6 +547,14 @@ std::unique_ptr<model::RoutingScheme> deserialize_any(
   fail(DecodeErrorKind::kSemanticInvalid, "unknown scheme kind");
 }
 
+FastScheme compile_fast_from_artifact(const bitio::BitVector& artifact,
+                                      const graph::Graph& g) {
+  FastScheme result;
+  result.scheme = deserialize_any(artifact, g);
+  result.fast = result.scheme->compile_fast();
+  return result;
+}
+
 std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits) {
   std::vector<std::uint8_t> bytes;
   // 64-bit little-endian bit-count prefix.

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bitio/bit_vector.hpp"
+#include "model/fastpath.hpp"
 #include "schemes/compact_diam2.hpp"
 #include "schemes/errors.hpp"
 #include "schemes/full_table.hpp"
@@ -138,6 +139,20 @@ struct ArtifactInfo {
 /// Kind-dispatching decoder: reconstructs whatever scheme the artifact
 /// holds. Throws DecodeError on any corruption or mismatch with `g`.
 [[nodiscard]] std::unique_ptr<model::RoutingScheme> deserialize_any(
+    const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// A deserialized scheme together with its compiled query-optimized form
+/// (model/fastpath.hpp). The scheme is kept alive alongside the fast path
+/// so even a borrowed fallback fast path stays valid.
+struct FastScheme {
+  std::unique_ptr<model::RoutingScheme> scheme;
+  std::unique_ptr<model::FastPath> fast;
+};
+
+/// Decodes the artifact and compiles its fast path in one step. Exactly
+/// the deserialize_any error surface: any corruption throws the same
+/// typed DecodeError before compilation starts.
+[[nodiscard]] FastScheme compile_fast_from_artifact(
     const bitio::BitVector& artifact, const graph::Graph& g);
 
 // --- Byte and file transport --------------------------------------------------

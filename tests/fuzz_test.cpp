@@ -2,6 +2,8 @@
 // model, codecs against random inputs, schemes against each other.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
 #include <random>
 #include <vector>
 
@@ -13,7 +15,9 @@
 #include "graph/generators.hpp"
 #include "incompressibility/enumerative.hpp"
 #include "incompressibility/lemma_codecs.hpp"
+#include "model/fastpath.hpp"
 #include "model/verifier.hpp"
+#include "net/chaos.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "schemes/compact_diam2.hpp"
@@ -297,6 +301,55 @@ TEST(Fuzz, RandomArtifactBytesNeverCrashDecode) {
     }
   }
   EXPECT_GT(survived_transport, 0u);
+}
+
+TEST(Fuzz, CorruptedArtifactsCompileFastWithIdenticalErrors) {
+  // The compile-to-fast-path entry point must present exactly the decode
+  // path's error surface: for every chaos-corrupted artifact, either both
+  // reject with the same typed DecodeError kind, or both accept — and on
+  // acceptance the compiled hops must match the decoder's hop for hop.
+  Rng grng(912);
+  const Graph g = core::certified_random_graph(24, grng);
+  const auto artifacts = {
+      schemes::serialize(schemes::CompactDiam2Scheme(g, {})),
+      schemes::serialize(schemes::FullTableScheme::standard(g)),
+  };
+  for (const auto& artifact : artifacts) {
+    for (std::uint64_t seed = 0; seed < 512; ++seed) {
+      const bitio::BitVector bad = net::corrupt(artifact, seed);
+      std::unique_ptr<model::RoutingScheme> slow;
+      std::optional<schemes::DecodeErrorKind> slow_error;
+      try {
+        slow = schemes::deserialize_any(bad, g);
+      } catch (const schemes::DecodeError& e) {
+        slow_error = e.kind();
+      }
+      schemes::FastScheme compiled;
+      std::optional<schemes::DecodeErrorKind> fast_error;
+      try {
+        compiled = schemes::compile_fast_from_artifact(bad, g);
+      } catch (const schemes::DecodeError& e) {
+        fast_error = e.kind();
+      }
+      ASSERT_EQ(slow_error.has_value(), fast_error.has_value())
+          << "seed=" << seed;
+      if (slow_error.has_value()) {
+        ASSERT_EQ(*slow_error, *fast_error) << "seed=" << seed;
+        continue;
+      }
+      ASSERT_NE(compiled.fast, nullptr);
+      for (graph::NodeId u = 0; u < 24; ++u) {
+        for (graph::NodeId v = 0; v < 24; ++v) {
+          if (v == u) continue;
+          const graph::NodeId label = slow->label_of(v);
+          model::MessageHeader header;
+          ASSERT_EQ(compiled.fast->next_hop(u, label),
+                    slow->next_hop(u, label, header))
+              << "seed=" << seed << " u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
 }
 
 TEST(Fuzz, RandomBitStringsNeverCrashFrameInspection) {

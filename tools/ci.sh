@@ -22,7 +22,7 @@ fi
 # everything under TSan would double CI time for no coverage.
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
   faults_test resilience_test obs_test instrumentation_test
-  serialization_test chaos_test fuzz_test)
+  serialization_test chaos_test fuzz_test fastpath_test rank_select_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
@@ -35,6 +35,12 @@ for stage in "${STAGES[@]}"; do
   fi
   echo "=== [$stage] test ==="
   ctest --preset "$stage"
+  if [ "$stage" = default ]; then
+    # Smoke-run the lookup benchmark: the compiled fast paths must stay
+    # bit-identical to the decode path (nonzero exit on divergence).
+    echo "=== [$stage] bench_lookup --smoke ==="
+    ./build/bench/bench_lookup --smoke -o build/BENCH_lookup_smoke.json
+  fi
 done
 
 echo "CI: all stages passed (${STAGES[*]})"
