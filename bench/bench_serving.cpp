@@ -1,0 +1,309 @@
+// Serving-throughput benchmark: a load generator for the optrtd daemon.
+//
+// By default it self-hosts — compiles a full-table scheme for a certified
+// G(n,1/2) graph, writes the artifact + graph pair into a temp directory,
+// starts an in-process serve::Server on a temp Unix socket, and hammers
+// it from C client connections issuing kNextHop requests of B pairs each
+// until the query target is met. Point it at an external daemon instead
+// with --socket PATH or --port N (with --artifact ID).
+//
+// The first batch of every connection is checked against a locally
+// compiled FastPath oracle, so a protocol or dispatch bug fails the run
+// before any throughput number is reported. Per-request wall latency is
+// recorded client-side; the report aggregates QPS (answered pairs per
+// second) and p50/p99/mean/max request latency.
+//
+// Emits BENCH_serving.json (schema optrt.bench_serving.v1):
+//
+//   {"schema":"optrt.bench_serving.v1","n":…,"seed":…,"queries":…,
+//    "connections":…,"batch":…,"duration_s":…,"qps":…,
+//    "latency_ns":{"p50":…,"p99":…,"mean":…,"max":…},
+//    "opcodes":{"ping":…,"next_hop":…},"metrics":{…}}
+//
+//   bench_serving [--queries 2000000] [--connections 8] [--batch 256]
+//                 [--n 256] [--seed 1996] [--threads N] [--smoke]
+//                 [--socket PATH | --port N [--host H]] [--artifact ID]
+//                 [-o BENCH_serving.json]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graph_io.hpp"
+#include "core/optrt.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace optrt;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::size_t queries = 2000000;
+  std::size_t connections = 8;
+  std::size_t batch = 256;
+  std::size_t n = 256;
+  std::uint64_t seed = 1996;  // PODC'96
+  std::uint32_t artifact_id = 0;
+  std::string socket_path;  // external daemon (unix)
+  int tcp_port = -1;        // external daemon (tcp)
+  std::string tcp_host = "127.0.0.1";
+  std::string out_path = "BENCH_serving.json";
+};
+
+struct WorkerResult {
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t pings = 0;
+  std::uint64_t next_hop_requests = 0;
+  std::uint64_t pairs_answered = 0;
+  bool oracle_ok = true;
+  std::string error;
+};
+
+serve::Client connect_target(const Config& cfg) {
+  if (!cfg.socket_path.empty()) {
+    return serve::Client::connect_unix(cfg.socket_path);
+  }
+  return serve::Client::connect_tcp(cfg.tcp_host, cfg.tcp_port);
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::apply_threads_flag(argc, argv);
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) {
+        std::cerr << "missing value after " << a << "\n";
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (a == "--queries") {
+      cfg.queries = std::strtoul(next(), nullptr, 10);
+    } else if (a == "--connections") {
+      cfg.connections = std::strtoul(next(), nullptr, 10);
+    } else if (a == "--batch") {
+      cfg.batch = std::strtoul(next(), nullptr, 10);
+    } else if (a == "--n") {
+      cfg.n = std::strtoul(next(), nullptr, 10);
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--artifact") {
+      cfg.artifact_id =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (a == "--socket") {
+      cfg.socket_path = next();
+    } else if (a == "--port") {
+      cfg.tcp_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (a == "--host") {
+      cfg.tcp_host = next();
+    } else if (a == "--smoke") {
+      // CI mode: checks the harness, the oracle hold, and the JSON
+      // schema, not the headline number.
+      cfg.queries = 50000;
+      cfg.connections = 2;
+      cfg.batch = 64;
+      cfg.n = 64;
+    } else if (a == "-o" || a == "--output") {
+      cfg.out_path = next();
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      return 2;
+    }
+  }
+  if (cfg.batch == 0 || cfg.connections == 0) {
+    std::cerr << "--batch and --connections must be positive\n";
+    return 2;
+  }
+
+  // The oracle graph/scheme: what the self-hosted server serves, and what
+  // external answers are checked against (same seed → same artifact).
+  graph::Rng rng(cfg.seed);
+  const graph::Graph g = core::certified_random_graph(cfg.n, rng);
+  const schemes::FullTableScheme scheme = schemes::FullTableScheme::standard(g);
+  const auto oracle = scheme.compile_fast();
+
+  const bool self_hosted = cfg.socket_path.empty() && cfg.tcp_port < 0;
+  std::filesystem::path tmp_dir;
+  std::unique_ptr<serve::ArtifactStore> store;
+  std::unique_ptr<serve::Server> server;
+  std::thread server_thread;
+  if (self_hosted) {
+    char tmpl[] = "/tmp/bench_serving.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::cerr << "mkdtemp failed\n";
+      return 2;
+    }
+    tmp_dir = tmpl;
+    core::save_graph((tmp_dir / "g0.eg").string(), g);
+    schemes::save_artifact((tmp_dir / "g0.ort").string(),
+                           schemes::serialize(scheme));
+    store = std::make_unique<serve::ArtifactStore>(tmp_dir.string());
+    const serve::LoadReport report = store->load();
+    if (!report.ok()) {
+      std::cerr << serve::format_load_failure(report.failures.front()) << "\n";
+      return 2;
+    }
+    serve::ServerConfig sc;
+    sc.unix_path = (tmp_dir / "optrtd.sock").string();
+    server = std::make_unique<serve::Server>(*store, sc);
+    server->bind();
+    server_thread = std::thread([&] { server->run(); });
+    cfg.socket_path = sc.unix_path;
+    cfg.artifact_id = 0;
+  }
+
+  const std::size_t per_conn =
+      (cfg.queries + cfg.connections - 1) / cfg.connections;
+  std::vector<WorkerResult> results(cfg.connections);
+  const auto bench_start = Clock::now();
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(cfg.connections);
+    for (std::size_t c = 0; c < cfg.connections; ++c) {
+      workers.emplace_back([&, c] {
+        WorkerResult& r = results[c];
+        try {
+          serve::Client client = connect_target(cfg);
+          client.ping();
+          ++r.pings;
+          // Seeded per-connection workload, point_seed discipline.
+          std::mt19937_64 prng(core::point_seed(cfg.seed, c, 11));
+          std::uniform_int_distribution<graph::NodeId> pick(
+              0, static_cast<graph::NodeId>(cfg.n - 1));
+          std::vector<serve::QueryPair> pairs(cfg.batch);
+          std::size_t done = 0;
+          bool first = true;
+          while (done < per_conn) {
+            const std::size_t want = std::min(cfg.batch, per_conn - done);
+            pairs.resize(want);
+            for (auto& p : pairs) {
+              p.src = pick(prng);
+              do {
+                p.dst = pick(prng);
+              } while (p.dst == p.src);
+            }
+            const auto start = Clock::now();
+            const std::vector<graph::NodeId> hops =
+                client.next_hops(cfg.artifact_id, pairs);
+            r.latencies_ns.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - start)
+                    .count()));
+            ++r.next_hop_requests;
+            r.pairs_answered += hops.size();
+            if (first) {
+              // Differential hold: served answers == the local oracle.
+              first = false;
+              std::vector<model::RoutePair> check(pairs.size());
+              for (std::size_t i = 0; i < pairs.size(); ++i) {
+                check[i] = {pairs[i].src, scheme.label_of(pairs[i].dst)};
+              }
+              std::vector<graph::NodeId> expect(pairs.size());
+              oracle->route_batch(check, expect);
+              r.oracle_ok = hops == expect;
+            }
+            done += want;
+          }
+        } catch (const std::exception& e) {
+          r.error = e.what();
+        }
+      });
+    }
+  }
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  if (self_hosted) {
+    server->stop();
+    server_thread.join();
+    server.reset();
+    store.reset();
+    std::filesystem::remove_all(tmp_dir);
+  }
+
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t pings = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t pairs_answered = 0;
+  bool ok = true;
+  for (const WorkerResult& r : results) {
+    if (!r.error.empty()) {
+      std::cerr << "worker error: " << r.error << "\n";
+      ok = false;
+    }
+    if (!r.oracle_ok) {
+      std::cerr << "FAIL: served answers diverged from the local oracle\n";
+      ok = false;
+    }
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    pings += r.pings;
+    requests += r.next_hop_requests;
+    pairs_answered += r.pairs_answered;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      duration_s > 0 ? static_cast<double>(pairs_answered) / duration_s : 0.0;
+  double mean_ns = 0.0;
+  for (const std::uint64_t v : latencies) {
+    mean_ns += static_cast<double>(v);
+  }
+  if (!latencies.empty()) mean_ns /= static_cast<double>(latencies.size());
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("optrt.bench_serving.v1");
+  w.key("n").value(static_cast<std::uint64_t>(cfg.n));
+  w.key("seed").value(cfg.seed);
+  w.key("queries").value(pairs_answered);
+  w.key("connections").value(static_cast<std::uint64_t>(cfg.connections));
+  w.key("batch").value(static_cast<std::uint64_t>(cfg.batch));
+  w.key("self_hosted").value(self_hosted);
+  w.key("duration_s").value(duration_s);
+  w.key("qps").value(qps);
+  w.key("latency_ns").begin_object();
+  w.key("p50").value(percentile(latencies, 0.50));
+  w.key("p99").value(percentile(latencies, 0.99));
+  w.key("mean").value(mean_ns);
+  w.key("max").value(latencies.empty() ? 0 : latencies.back());
+  w.end_object();
+  w.key("opcodes").begin_object();
+  w.key("ping").value(pings);
+  w.key("next_hop").value(requests);
+  w.end_object();
+  w.key("metrics").raw(obs::metrics_json(obs::MetricsRegistry::global()));
+  w.end_object();
+
+  std::ofstream out(cfg.out_path);
+  if (!out) {
+    std::cerr << "cannot write " << cfg.out_path << "\n";
+    return 2;
+  }
+  out << w.str() << "\n";
+  std::cerr << "bench_serving: " << pairs_answered << " queries in "
+            << duration_s << " s (" << qps << " qps, p50 "
+            << percentile(latencies, 0.50) << " ns, p99 "
+            << percentile(latencies, 0.99) << " ns) -> " << cfg.out_path
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,9 @@
 //                      [--retries N] [--backoff B] [--serialize-links]
 //   optrt_cli sweep    [--ns 16,24,32] [--seeds 3] [--model M]
 //                      [--objective O] [--seed S]
+//   optrt_cli serve    --dir DIR (--socket PATH | --port N)
+//   optrt_cli query    (--socket PATH | --port N) [--op OP]
+//                      [--artifact ID] [SRC DST | --batch PAIRS.txt]
 //
 // Families: uniform gnp:<p> chain ring complete star grid:<r>x<c>
 //           hypercube:<d> gb:<k>
@@ -36,6 +39,8 @@
 
 #include "core/graph_io.hpp"
 #include "core/optrt.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 
 namespace {
 
@@ -61,9 +66,16 @@ using namespace optrt;
       "uniform|targeted|partition|nodes]\n"
       "      [--fault-seed S] [--repair-after T] [--policy "
       "none|retry|deflect|fallback]\n"
-      "      [--retries N] [--backoff B] [--serialize-links]\n"
+      "      [--retries N] [--backoff B] [--serialize-links] "
+      "[--batch-routing]\n"
       "  optrt_cli sweep [--ns 16,24,32] [--seeds 3] [--model II.alpha] "
       "[--objective shortest]\n"
+      "  optrt_cli serve --dir DIR (--socket PATH | --port N) [--host H]\n"
+      "      (serve every <name>.ort + <name>.eg pair in DIR over ORTP v1;\n"
+      "       SIGHUP hot-reloads, SIGINT/SIGTERM stops)\n"
+      "  optrt_cli query (--socket PATH | --port N) [--op "
+      "ping|next-hop|route|list|reload]\n"
+      "      [--artifact ID] [SRC DST | --batch PAIRS.txt]\n"
       "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
       "hypercube:<d> gb:<k>\n"
       "global: --threads N (worker threads for verify/sizes/sweep; default "
@@ -95,8 +107,16 @@ struct Args {
   // sweep knobs.
   std::string ns_list = "16,24,32";
   std::size_t sweep_seeds = 3;
-  // route --batch input file.
+  bool batch_routing = false;
+  // route --batch input file (also query --batch).
   std::optional<std::string> batch;
+  // serve / query knobs.
+  std::optional<std::string> dir;
+  std::optional<std::string> socket_path;
+  int port = -1;
+  std::string host = "127.0.0.1";
+  std::string op = "next-hop";
+  std::uint32_t artifact_id = 0;
   // observability outputs.
   std::optional<std::string> metrics_json;
   std::optional<std::string> trace_json;
@@ -143,6 +163,21 @@ Args parse(int argc, char** argv) {
       args.backoff = std::strtoull(next().c_str(), nullptr, 10);
     } else if (a == "--serialize-links") {
       args.serialize_links = true;
+    } else if (a == "--batch-routing") {
+      args.batch_routing = true;
+    } else if (a == "--dir") {
+      args.dir = next();
+    } else if (a == "--socket") {
+      args.socket_path = next();
+    } else if (a == "--port") {
+      args.port = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (a == "--host") {
+      args.host = next();
+    } else if (a == "--op") {
+      args.op = next();
+    } else if (a == "--artifact") {
+      args.artifact_id =
+          static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
     } else if (a == "--ns") {
       args.ns_list = next();
     } else if (a == "--seeds") {
@@ -507,6 +542,7 @@ int cmd_simulate(const Args& args) {
   net::SimulatorConfig config;
   config.serialize_links = args.serialize_links;
   config.measure_stretch = true;
+  config.batch_routing = args.batch_routing;
   config.resilience = {.policy = *policy,
                        .max_retries = args.retries,
                        .backoff_base = args.backoff};
@@ -585,6 +621,88 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (!args.dir || (!args.socket_path && args.port < 0)) {
+    usage("serve needs --dir DIR and --socket PATH or --port N");
+  }
+  serve::DaemonOptions options;
+  options.artifact_dir = *args.dir;
+  if (args.socket_path) options.server.unix_path = *args.socket_path;
+  options.server.tcp_port = args.port;
+  options.server.tcp_host = args.host;
+  options.server.threads = core::default_threads();
+  return serve::run_daemon(options);
+}
+
+/// Reads query pairs from positionals ("SRC DST") or a --batch file (one
+/// "src dst" pair per line, the route --batch format).
+std::vector<serve::QueryPair> gather_query_pairs(const Args& args) {
+  std::vector<serve::QueryPair> pairs;
+  if (args.batch) {
+    std::ifstream in(*args.batch);
+    if (!in) reject_file(*args.batch, "cannot open pair file");
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    while (in >> src >> dst) {
+      pairs.push_back({static_cast<graph::NodeId>(src),
+                       static_cast<graph::NodeId>(dst)});
+    }
+  } else if (args.positional.size() == 2) {
+    pairs.push_back({static_cast<graph::NodeId>(
+                         std::strtoul(args.positional[0].c_str(), nullptr, 10)),
+                     static_cast<graph::NodeId>(std::strtoul(
+                         args.positional[1].c_str(), nullptr, 10))});
+  } else {
+    usage("query --op " + args.op + " needs SRC DST or --batch PAIRS.txt");
+  }
+  return pairs;
+}
+
+int cmd_query(const Args& args) {
+  if (!args.socket_path && args.port < 0) {
+    usage("query needs --socket PATH or --port N");
+  }
+  try {
+    serve::Client client = args.socket_path
+                               ? serve::Client::connect_unix(*args.socket_path)
+                               : serve::Client::connect_tcp(args.host, args.port);
+    if (args.op == "ping") {
+      client.ping();
+      std::cout << "pong\n";
+    } else if (args.op == "list") {
+      for (const serve::ArtifactSummary& a : client.list()) {
+        std::cout << a.id << ' ' << a.name << " n=" << a.node_count << " kind="
+                  << schemes::to_string(
+                         static_cast<schemes::SchemeKind>(a.kind))
+                  << "\n";
+      }
+    } else if (args.op == "reload") {
+      std::cout << "reloaded, serving " << client.reload() << " artifact(s)\n";
+    } else if (args.op == "next-hop") {
+      const auto pairs = gather_query_pairs(args);
+      const auto hops = client.next_hops(args.artifact_id, pairs);
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        std::cout << pairs[i].src << ' ' << pairs[i].dst << ' ' << hops[i]
+                  << '\n';
+      }
+    } else if (args.op == "route") {
+      const auto pairs = gather_query_pairs(args);
+      const auto paths = client.routes(args.artifact_id, pairs);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::cout << pairs[i].src;
+        for (const graph::NodeId hop : paths[i]) std::cout << " -> " << hop;
+        std::cout << "   (" << paths[i].size() << " hops)\n";
+      }
+    } else {
+      usage("unknown query op " + args.op);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const Args& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
@@ -595,6 +713,8 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "sizes") return cmd_sizes(args);
   if (command == "simulate") return cmd_simulate(args);
   if (command == "sweep") return cmd_sweep(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "query") return cmd_query(args);
   usage("unknown command " + command);
 }
 

@@ -87,6 +87,13 @@ class RoutingScheme {
   [[nodiscard]] virtual NodeId next_hop(NodeId u, NodeId dest_label,
                                         MessageHeader& header) const = 0;
 
+  /// True when next_hop neither reads nor writes the MessageHeader — i.e.
+  /// every hop equals the answer for a fresh header, so a carrier may
+  /// batch hops through the compiled FastPath. Theorem 5's sequential
+  /// search and the hierarchical scheme carry per-message state and
+  /// return false.
+  [[nodiscard]] virtual bool stateless_next_hop() const { return true; }
+
   /// Space used by this scheme under its model's accounting.
   [[nodiscard]] virtual SpaceReport space() const = 0;
 

@@ -128,6 +128,23 @@ bitio::BitVector corrupt_with(const bitio::BitVector& artifact,
   return out;
 }
 
+std::vector<std::uint8_t> corrupt_bytes(std::span<const std::uint8_t> bytes,
+                                        std::uint64_t seed,
+                                        CorruptionReport* report) {
+  bitio::BitVector bits;
+  for (const std::uint8_t byte : bytes) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      bits.push_back((byte >> bit) & 1u);
+    }
+  }
+  const bitio::BitVector damaged = corrupt(bits, seed, report);
+  std::vector<std::uint8_t> out((damaged.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < damaged.size(); ++i) {
+    if (damaged.get(i)) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  }
+  return out;
+}
+
 bitio::BitVector flip_bit(const bitio::BitVector& artifact, std::size_t index) {
   return flipped(artifact, index);
 }

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "bitio/bit_vector.hpp"
 
@@ -57,6 +59,16 @@ struct CorruptionReport {
                                             CorruptionKind kind,
                                             std::uint64_t seed,
                                             CorruptionReport* report = nullptr);
+
+/// Byte-level front end for wire-frame chaos: unpacks `bytes` LSB-first
+/// into a bit string, applies the seed-selected corruption class, and
+/// repacks (a partial trailing byte is zero-padded). The serve chaos
+/// suite drives ORTP frames through this, so the wire protocol faces
+/// exactly the corruption menu the artifact decoders were hardened
+/// against.
+[[nodiscard]] std::vector<std::uint8_t> corrupt_bytes(
+    std::span<const std::uint8_t> bytes, std::uint64_t seed,
+    CorruptionReport* report = nullptr);
 
 /// Flips exactly the payload bit `index` (frame-relative position
 /// kFrameHeaderBits + index) of a framed artifact — the primitive behind

@@ -19,6 +19,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "model/fastpath.hpp"
 #include "model/scheme.hpp"
 #include "net/faults.hpp"
 #include "net/resilience.hpp"
@@ -42,6 +43,13 @@ struct SimulatorConfig {
   /// Accumulate pre-failure shortest-path distances of delivered messages
   /// (SimulationStats::mean_stretch); costs one cached all-pairs BFS.
   bool measure_stretch = false;
+  /// Route batches of same-time deliveries through the scheme's compiled
+  /// FastPath (one route_batch per timestep) instead of per-hop decode.
+  /// Applies only while the scheme is stateless (stateless_next_hop())
+  /// and no failures are active — otherwise each event falls back to the
+  /// per-hop path — so stats, records, and link loads are bit-identical
+  /// to the unbatched loop (tests/simulator_test.cpp pins this).
+  bool batch_routing = false;
 };
 
 /// Outcome of one message.
@@ -157,6 +165,9 @@ class Simulator {
   const model::RoutingScheme* scheme_;
   const model::FullInformationRouting* full_info_;  // non-null if capable
   SimulatorConfig config_;
+  // Compiled form for batch_routing (null unless enabled and the scheme
+  // is stateless). May borrow scheme_, which outlives the simulator.
+  std::unique_ptr<model::FastPath> fast_;
   std::unique_ptr<ResilienceEngine> resilience_;  // non-null if policy set
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -575,6 +575,10 @@ std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits) {
 }
 
 bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes) {
+  return from_bytes(std::span<const std::uint8_t>(bytes));
+}
+
+bitio::BitVector from_bytes(std::span<const std::uint8_t> bytes) {
   check(bytes.size() >= 8, DecodeErrorKind::kTruncated,
         "from_bytes: truncated bit-count header");
   std::uint64_t count = 0;

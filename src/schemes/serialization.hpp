@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -159,6 +160,7 @@ struct FastScheme {
 
 /// Packs bits into bytes, length-prefixed so the bit count survives.
 [[nodiscard]] std::vector<std::uint8_t> to_bytes(const bitio::BitVector& bits);
+[[nodiscard]] bitio::BitVector from_bytes(std::span<const std::uint8_t> bytes);
 [[nodiscard]] bitio::BitVector from_bytes(const std::vector<std::uint8_t>& bytes);
 
 /// Writes/reads an artifact file. save_artifact is atomic: it writes to

@@ -1,0 +1,87 @@
+#include "serve/daemon.hpp"
+
+#include <csignal>
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+#include "schemes/serialization.hpp"
+
+namespace optrt::serve {
+
+namespace {
+
+// Signal handlers may only flip flags; the serving threads act on them.
+std::atomic<bool> g_stop_requested{false};
+std::atomic<bool> g_reload_requested{false};
+
+void on_stop_signal(int) { g_stop_requested.store(true); }
+void on_reload_signal(int) { g_reload_requested.store(true); }
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+  ArtifactStore store(options.artifact_dir);
+  const LoadReport initial = store.load();
+  if (!initial.ok()) {
+    for (const LoadFailure& failure : initial.failures) {
+      std::fprintf(stderr, "%s\n", format_load_failure(failure).c_str());
+    }
+    return 2;
+  }
+
+  Server server(store, options.server);
+  try {
+    server.bind();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  g_stop_requested.store(false);
+  g_reload_requested.store(false);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGHUP, on_reload_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server.poll_hook = [&] {
+    if (g_stop_requested.load()) {
+      server.stop();
+      return;
+    }
+    if (g_reload_requested.exchange(false)) {
+      const LoadReport report = store.load();
+      if (report.ok()) {
+        std::fprintf(stderr, "optrtd: reloaded %zu artifact(s)\n",
+                     report.loaded);
+      } else {
+        for (const LoadFailure& failure : report.failures) {
+          std::fprintf(stderr, "%s\n", format_load_failure(failure).c_str());
+        }
+        std::fprintf(stderr,
+                     "optrtd: reload failed, keeping the previous catalog\n");
+      }
+    }
+  };
+
+  if (options.print_ready) {
+    std::printf("optrtd: serving %zu artifact(s) from %s\n", initial.loaded,
+                options.artifact_dir.c_str());
+    if (!options.server.unix_path.empty()) {
+      std::printf("optrtd: listening on unix:%s\n",
+                  options.server.unix_path.c_str());
+    }
+    if (server.tcp_port() >= 0) {
+      std::printf("optrtd: listening on tcp:%s:%d\n",
+                  options.server.tcp_host.c_str(), server.tcp_port());
+    }
+    std::fflush(stdout);
+  }
+
+  server.run();
+  return 0;
+}
+
+}  // namespace optrt::serve

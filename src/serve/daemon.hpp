@@ -1,0 +1,30 @@
+// The optrtd daemon entry point, shared by the standalone `optrtd`
+// binary and `optrt_cli serve`.
+//
+// Lifecycle: load the artifact directory (a failure here is fatal with
+// verify-artifact's exit code and diagnostic shape), bind the listeners,
+// install signal handlers, and serve until SIGINT/SIGTERM. SIGHUP sets
+// an atomic flag that the accept loop's poll hook picks up, so the hot
+// reload itself runs on a serving thread — signal handlers only flip
+// flags. A reload that fails keeps the old catalog in service and prints
+// the per-file diagnostics to stderr.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace optrt::serve {
+
+struct DaemonOptions {
+  std::string artifact_dir;
+  ServerConfig server;
+  bool print_ready = true;  ///< announce listeners on stdout once serving
+};
+
+/// Runs the daemon to completion. Returns the process exit code:
+/// 0 on clean shutdown, 2 when the initial artifact load or bind fails
+/// (diagnostics on stderr, CLI reject_file parity).
+int run_daemon(const DaemonOptions& options);
+
+}  // namespace optrt::serve

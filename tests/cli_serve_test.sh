@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# End-to-end serving: a real optrtd daemon on a temp Unix socket, driven
+# by `optrt_cli query` and the bench_serving smoke load, then the
+# corrupt-artifact path — the daemon must reject a damaged directory with
+# the same exit code (2) and the same taxonomy diagnostic that
+# `optrt_cli verify-artifact` prints for the same file.
+#
+# Usage: cli_serve_test.sh <optrt_cli> <optrtd> <bench_serving> <work-dir>
+set -u
+
+CLI=$1
+DAEMON=$2
+BENCH=$3
+WORK=$4
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK" || exit 1
+
+failures=0
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# Flips one bit of byte <offset> in <file>.
+flip_byte() {
+  local file=$1 offset=$2
+  local byte
+  byte=$(od -An -tu1 -j "$offset" -N 1 "$file" | tr -d ' ')
+  printf "$(printf '\\x%02x' $((byte ^ 1)))" |
+    dd of="$file" bs=1 seek="$offset" count=1 conv=notrunc status=none
+}
+
+# The served directory: one full-table artifact over the same certified
+# graph bench_serving's --smoke oracle builds (n=64, seed 1996), so the
+# external-daemon differential check in the bench holds.
+mkdir -p artifacts
+"$CLI" generate uniform 64 --seed 1996 --certified -o artifacts/g0.eg ||
+  fail "generate"
+"$CLI" compile artifacts/g0.eg --model IA.alpha -o artifacts/g0.ort ||
+  fail "compile"
+
+SOCK="$WORK/optrtd.sock"
+"$DAEMON" --dir artifacts --socket "$SOCK" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon socket never appeared"
+
+# The query subcommand against the live daemon.
+out=$("$CLI" query --socket "$SOCK" --op ping) || fail "query ping exited $?"
+[ "$out" = "pong" ] || fail "ping printed '$out', wanted 'pong'"
+
+out=$("$CLI" query --socket "$SOCK" --op list) || fail "query list exited $?"
+case "$out" in
+  *g0*n=64*) : ;;
+  *) fail "list output missing artifact row: '$out'" ;;
+esac
+
+out=$("$CLI" query --socket "$SOCK" 0 5) || fail "query next-hop exited $?"
+[ -n "$out" ] || fail "next-hop printed nothing"
+
+"$CLI" query --socket "$SOCK" --op route 0 5 >/dev/null ||
+  fail "query route exited $?"
+
+out=$("$CLI" query --socket "$SOCK" --op reload) || fail "query reload exited $?"
+case "$out" in
+  *"serving 1 artifact"*) : ;;
+  *) fail "reload printed '$out'" ;;
+esac
+
+# A request error (unknown artifact id) is a clean diagnostic + exit 2,
+# and must not wedge the daemon.
+err=$("$CLI" query --socket "$SOCK" --artifact 9 0 5 2>&1 >/dev/null)
+rc=$?
+[ "$rc" -eq 2 ] || fail "unknown-artifact query exited $rc, wanted 2"
+case "$err" in
+  error:*) : ;;
+  *) fail "unknown-artifact diagnostic was '$err'" ;;
+esac
+out=$("$CLI" query --socket "$SOCK" --op ping) || fail "ping after error"
+
+# The serving benchmark's smoke load against the same daemon: checks the
+# wire protocol, the oracle differential, and the report schema.
+"$BENCH" --smoke --socket "$SOCK" --artifact 0 -o BENCH_smoke.json 2>/dev/null ||
+  fail "bench_serving --smoke exited $?"
+grep -q '"schema": *"optrt.bench_serving.v1"' BENCH_smoke.json ||
+  fail "BENCH_smoke.json missing the schema marker"
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM, wanted 0"
+
+# Corrupt-artifact parity: the daemon must refuse a damaged directory
+# with exit 2 and the same per-file taxonomy line verify-artifact prints.
+mkdir -p bad
+cp artifacts/g0.eg bad/
+cp artifacts/g0.ort bad/
+size=$(wc -c < bad/g0.ort)
+flip_byte bad/g0.ort $((size - 4))
+
+cli_err=$("$CLI" verify-artifact bad/g0.ort 2>&1 >/dev/null)
+cli_rc=$?
+[ "$cli_rc" -eq 2 ] || fail "verify-artifact exited $cli_rc on corrupt, wanted 2"
+
+daemon_err=$("$DAEMON" --dir bad --socket "$WORK/bad.sock" 2>&1 >/dev/null)
+daemon_rc=$?
+[ "$daemon_rc" -eq 2 ] || fail "daemon exited $daemon_rc on corrupt dir, wanted 2"
+case "$daemon_err" in
+  *"g0.ort"*) : ;;
+  *) fail "daemon diagnostic does not name the file: '$daemon_err'" ;;
+esac
+# Both diagnostics carry the same DecodeError kind for the same bytes.
+kind=$(printf '%s\n' "$cli_err" | grep -o '[a-z-]*-mismatch\|truncated\|bad-magic' | head -1)
+[ -n "$kind" ] || fail "could not extract taxonomy kind from '$cli_err'"
+case "$daemon_err" in
+  *"$kind"*) : ;;
+  *) fail "daemon said '$daemon_err', verify-artifact said '$cli_err'" ;;
+esac
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures serving end-to-end check(s) failed" >&2
+  exit 1
+fi
+echo "all serving end-to-end checks passed"

@@ -23,6 +23,7 @@
 #include "schemes/compact_diam2.hpp"
 #include "schemes/full_table.hpp"
 #include "schemes/serialization.hpp"
+#include "serve/protocol.hpp"
 
 namespace optrt {
 namespace {
@@ -367,6 +368,37 @@ TEST(Fuzz, RandomBitStringsNeverCrashFrameInspection) {
     try {
       (void)schemes::inspect(bits);
     } catch (const schemes::DecodeError&) {
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesNeverCrashWireFrameParsing) {
+  std::mt19937_64 rng(937);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::size_t len = static_cast<std::size_t>(rng() % 96);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    // Half the trials start with the real magic + version so the later
+    // header checks and the payload/CRC layers run too.
+    if (len >= 5 && trial % 2 == 0) {
+      bytes[0] = 'O';
+      bytes[1] = 'R';
+      bytes[2] = 'T';
+      bytes[3] = 'P';
+      bytes[4] = serve::kWireVersion;
+    }
+    try {
+      const serve::Frame frame = serve::parse_frame(bytes);
+      // The rare fully-valid draw must decode or reject as typed errors.
+      try {
+        (void)serve::decode_query_pairs(frame);
+      } catch (const serve::ProtocolError&) {
+      }
+      try {
+        (void)serve::decode_error(frame);
+      } catch (const serve::ProtocolError&) {
+      }
+    } catch (const serve::ProtocolError&) {
     }
   }
 }

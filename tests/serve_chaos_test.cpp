@@ -1,0 +1,227 @@
+// Protocol chaos: the ORTP dispatch core and the socket loop under
+// seeded frame corruption.
+//
+// The contract mirrors the artifact chaos harness (tests/chaos_test.cpp):
+// for every opcode and every corruption seed the server must answer with
+// a typed error frame or a bit-exact success response — never crash,
+// never hang, never emit bytes that fail its own parser. Corruption
+// #(frame, seed) is replayable from the seed alone, so any failure here
+// is a one-line repro.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/graph_io.hpp"
+#include "core/parallel.hpp"
+#include "net/chaos.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/serialization.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+constexpr std::size_t kSeedsPerOpcode = 2048;
+
+/// Scratch directory removed on scope exit.
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    char tmpl[] = "/tmp/serve_chaos.XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// A one-artifact store (full-table over a small certified graph): enough
+/// surface for every opcode to do real work.
+struct StoreFixture {
+  TempDir dir;
+  std::unique_ptr<serve::ArtifactStore> store;
+
+  StoreFixture() {
+    Rng rng(1996);
+    const Graph g = core::certified_random_graph(32, rng);
+    core::save_graph(dir.file("g0.eg"), g);
+    schemes::save_artifact(
+        dir.file("g0.ort"),
+        schemes::serialize(schemes::FullTableScheme::standard(g)));
+    store = std::make_unique<serve::ArtifactStore>(dir.path.string());
+    const serve::LoadReport report = store->load();
+    if (!report.ok()) {
+      throw std::runtime_error(serve::format_load_failure(report.failures[0]));
+    }
+  }
+};
+
+/// One well-formed request frame per opcode.
+std::vector<std::pair<std::string, serve::Frame>> request_menu() {
+  const std::vector<serve::QueryPair> pairs{{0, 1}, {5, 9}, {30, 2}};
+  return {
+      {"ping", serve::make_ping_request()},
+      {"next_hop", serve::make_next_hop_request(0, pairs)},
+      {"route", serve::make_route_request(0, pairs)},
+      {"list", serve::make_list_request()},
+      {"reload", serve::make_reload_request()},
+  };
+}
+
+/// Every response the server emits must round-trip through its own
+/// parser as a success or error frame.
+void expect_well_formed(const std::vector<std::uint8_t>& response,
+                        const std::string& context) {
+  std::size_t consumed = 0;
+  serve::Frame frame;
+  ASSERT_NO_THROW(frame = serve::parse_frame(response, &consumed)) << context;
+  ASSERT_EQ(consumed, response.size()) << context;
+  ASSERT_TRUE(frame.is_response() || frame.is_error()) << context;
+}
+
+// For every opcode: 2048 seeded corruptions through the pure dispatch
+// core. Typed error or bit-exact round-trip — and when the corruption
+// happens to be the identity, the response must be byte-identical to the
+// uncorrupted one (the server is deterministic under chaos).
+TEST(ServeChaos, DispatchSurvivesSeededCorruptionPerOpcode) {
+  StoreFixture fx;
+  serve::Server server(*fx.store, {});
+
+  for (const auto& [name, request] : request_menu()) {
+    const std::vector<std::uint8_t> clean = serve::encode_frame(request);
+    const std::vector<std::uint8_t> clean_response =
+        server.handle_request(clean);
+    expect_well_formed(clean_response, name + "/clean");
+    ASSERT_FALSE(serve::parse_frame(clean_response).is_error())
+        << name << ": the uncorrupted request must succeed";
+
+    std::size_t rejected = 0;
+    for (std::size_t i = 0; i < kSeedsPerOpcode; ++i) {
+      const std::uint64_t seed = core::point_seed(1996, i, 29);
+      net::CorruptionReport report;
+      const std::vector<std::uint8_t> damaged =
+          net::corrupt_bytes(clean, seed, &report);
+      const std::string context = name + ": seed=" + std::to_string(seed) +
+                                  " kind=" + net::to_string(report.kind);
+
+      const std::vector<std::uint8_t> response = server.handle_request(damaged);
+      expect_well_formed(response, context);
+      const serve::Frame parsed = serve::parse_frame(response);
+      if (parsed.is_error()) {
+        ++rejected;
+        // The error must carry a code from the taxonomy, not garbage.
+        const serve::ErrorInfo info = serve::decode_error(parsed);
+        ASSERT_GE(static_cast<int>(info.code), 1) << context;
+        ASSERT_LE(static_cast<int>(info.code), 10) << context;
+      }
+      if (damaged == clean) {
+        ASSERT_EQ(response, clean_response)
+            << context << ": identity corruption must round-trip bit-exact";
+      }
+    }
+    // The corruption menu lands mostly on bytes the integrity layer
+    // covers; the overwhelming majority of draws must be rejected.
+    EXPECT_GT(rejected, kSeedsPerOpcode / 2) << name;
+  }
+}
+
+// A smaller sweep through the real socket loop: corrupted bytes written
+// to a live connection, write side shut, everything the server sends
+// back until EOF must parse as a sequence of well-formed frames. The
+// server must always release the connection (the read below terminates),
+// and a frame the integrity layer cannot resynchronize after (bad magic,
+// bad version, truncation) ends the stream.
+TEST(ServeChaos, SocketLoopSurvivesCorruptedFrames) {
+  StoreFixture fx;
+  serve::ServerConfig config;
+  config.threads = 3;
+  config.poll_interval_ms = 5;
+  config.idle_timeout_ms = 5000;
+  serve::Server server(*fx.store, config);
+  std::thread runner([&] { server.run(); });
+
+  constexpr std::size_t kSocketSeeds = 128;
+  for (const auto& [name, request] : request_menu()) {
+    const std::vector<std::uint8_t> clean = serve::encode_frame(request);
+    for (std::size_t i = 0; i < kSocketSeeds; ++i) {
+      const std::uint64_t seed = core::point_seed(733, i, 31);
+      const std::vector<std::uint8_t> damaged =
+          net::corrupt_bytes(clean, seed);
+      const std::string context =
+          name + ": socket seed=" + std::to_string(seed);
+
+      int sv[2];
+      ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+      server.adopt_connection(sv[0]);
+      if (!damaged.empty()) {
+        ASSERT_EQ(::send(sv[1], damaged.data(), damaged.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(damaged.size()))
+            << context;
+      }
+      ASSERT_EQ(::shutdown(sv[1], SHUT_WR), 0) << context;
+
+      // Drain everything until the server closes its end. Terminates
+      // because the server closes on EOF or error; idle_timeout_ms backs
+      // that as a last resort.
+      std::vector<std::uint8_t> received;
+      std::array<std::uint8_t, 4096> buf;
+      for (;;) {
+        const ssize_t got = ::recv(sv[1], buf.data(), buf.size(), 0);
+        if (got <= 0) break;
+        received.insert(received.end(), buf.begin(), buf.begin() + got);
+      }
+      ::close(sv[1]);
+
+      // Zero or more well-formed frames, nothing else.
+      std::span<const std::uint8_t> rest(received);
+      std::size_t frames = 0;
+      while (!rest.empty()) {
+        std::size_t consumed = 0;
+        serve::Frame frame;
+        ASSERT_NO_THROW(frame = serve::parse_frame(rest, &consumed))
+            << context << ": server sent unparseable bytes";
+        ASSERT_TRUE(frame.is_response() || frame.is_error()) << context;
+        rest = rest.subspan(consumed);
+        ++frames;
+      }
+      ASSERT_LE(frames, 2u) << context;  // response (+ trailing-junk error)
+    }
+  }
+
+  server.stop();
+  runner.join();
+}
+
+// corrupt_bytes itself: deterministic, size-bounded, and the bit-level
+// repack agrees with the BitVector corruption it fronts.
+TEST(ServeChaos, CorruptBytesIsSeededAndBounded) {
+  const std::vector<std::uint8_t> frame =
+      serve::encode_frame(serve::make_ping_request());
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    net::CorruptionReport a_report;
+    const auto a = net::corrupt_bytes(frame, seed, &a_report);
+    const auto b = net::corrupt_bytes(frame, seed);
+    EXPECT_EQ(a, b) << "seed=" << seed;
+    EXPECT_LE(a.size(), 2 * frame.size() + 8) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace optrt

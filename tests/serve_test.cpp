@@ -1,0 +1,553 @@
+// The route-serving daemon, locked down:
+//  - byte-pinned ORTP v1 golden frames (a wire-format change cannot land
+//    silently — the hex literals here are the protocol spec),
+//  - a differential oracle: answers served over a real socketpair must be
+//    bit-identical to the in-memory scheme's next_hop for every ordered
+//    pair, for all seven serializable scheme kinds,
+//  - hot reload mid-stream: swapping the artifact under a live connection
+//    drops zero in-flight requests and transitions answers atomically,
+//  - pinned serve.* counter deltas for the dispatch core.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bitio/crc32.hpp"
+#include "core/experiment.hpp"
+#include "core/graph_io.hpp"
+#include "graph/generators.hpp"
+#include "model/scheme.hpp"
+#include "obs/metrics.hpp"
+#include "schemes/compact_diam2.hpp"
+#include "schemes/full_table.hpp"
+#include "schemes/hierarchical.hpp"
+#include "schemes/hub.hpp"
+#include "schemes/landmark.hpp"
+#include "schemes/routing_center.hpp"
+#include "schemes/sequential_search.hpp"
+#include "schemes/serialization.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+Graph certified(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::certified_random_graph(n, rng);
+}
+
+std::string hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+/// Scratch directory removed on scope exit.
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    char tmpl[] = "/tmp/serve_test.XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// One served fixture: a stem plus the in-memory scheme it was built from
+/// (the differential oracle).
+struct Fixture {
+  std::string stem;
+  std::unique_ptr<model::RoutingScheme> scheme;
+};
+
+/// Writes `<stem>.eg` + `<stem>.ort` and returns the oracle scheme.
+template <typename SchemeT>
+Fixture add_fixture(const TempDir& dir, const std::string& stem,
+                    const Graph& g, SchemeT scheme) {
+  core::save_graph(dir.file(stem + ".eg"), g);
+  schemes::save_artifact(dir.file(stem + ".ort"), schemes::serialize(scheme));
+  return {stem, std::make_unique<SchemeT>(std::move(scheme))};
+}
+
+/// All seven serializable kinds over one graph, as served fixtures
+/// g0..g6 (ids are sorted-stem ranks, so id == index here).
+std::vector<Fixture> all_seven(const TempDir& dir, const Graph& g) {
+  std::vector<Fixture> fixtures;
+  fixtures.push_back(add_fixture(dir, "g0", g, schemes::CompactDiam2Scheme(g, {})));
+  fixtures.push_back(
+      add_fixture(dir, "g1", g, schemes::FullTableScheme::standard(g)));
+  fixtures.push_back(add_fixture(dir, "g2", g, schemes::HubScheme(g)));
+  fixtures.push_back(add_fixture(dir, "g3", g, schemes::RoutingCenterScheme(g)));
+  fixtures.push_back(add_fixture(dir, "g4", g, schemes::LandmarkScheme(g)));
+  fixtures.push_back(add_fixture(dir, "g5", g, schemes::HierarchicalScheme(g)));
+  fixtures.push_back(
+      add_fixture(dir, "g6", g, schemes::SequentialSearchScheme(g)));
+  return fixtures;
+}
+
+/// An in-process server: no listeners, connections arrive as socketpair
+/// ends through adopt_connection.
+class Harness {
+ public:
+  explicit Harness(serve::ArtifactStore& store, std::size_t threads = 4) {
+    serve::ServerConfig config;
+    config.threads = threads;
+    config.poll_interval_ms = 5;
+    server_ = std::make_unique<serve::Server>(store, config);
+    runner_ = std::thread([this] { server_->run(); });
+  }
+
+  ~Harness() {
+    server_->stop();
+    runner_.join();
+  }
+
+  [[nodiscard]] serve::Client client() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    server_->adopt_connection(sv[0]);
+    return serve::Client(sv[1]);
+  }
+
+  [[nodiscard]] serve::Server& server() { return *server_; }
+
+ private:
+  std::unique_ptr<serve::Server> server_;
+  std::thread runner_;
+};
+
+// ---- Golden frames: the ORTP v1 wire format, byte for byte ---------------
+
+TEST(ServeProtocolGolden, RequestFramesArePinned) {
+  EXPECT_EQ(hex(serve::encode_frame(serve::make_ping_request())),
+            "4f5254500101000000000000000000000000000000000000");
+  const serve::QueryPair one{3, 17};
+  EXPECT_EQ(
+      hex(serve::encode_frame(
+          serve::make_next_hop_request(0, std::span<const serve::QueryPair>(
+                                              &one, 1)))),
+      "4f5254500102000000000000010000000800000070e808030300000011000000");
+  const serve::QueryPair two[2] = {{3, 17}, {40, 5}};
+  EXPECT_EQ(hex(serve::encode_frame(serve::make_route_request(1, two))),
+            "4f52545001030000010000000200000010000000e5d7834f0300000011000000"
+            "2800000005000000");
+  EXPECT_EQ(hex(serve::encode_frame(serve::make_list_request())),
+            "4f5254500104000000000000000000000000000000000000");
+  EXPECT_EQ(hex(serve::encode_frame(serve::make_reload_request())),
+            "4f5254500105000000000000000000000000000000000000");
+}
+
+TEST(ServeProtocolGolden, ResponseFramesArePinned) {
+  EXPECT_EQ(hex(serve::encode_frame(serve::make_error_response(
+                7, serve::WireError::kBadPair, "pair 0 out of range or equal"))),
+            "4f525450017f000007000000000000001d0000008e3369a109706169722030206f"
+            "7574206f662072616e6765206f7220657175616c");
+  serve::Frame ok;
+  ok.opcode = static_cast<std::uint8_t>(2 | serve::kResponseBit);
+  ok.pair_count = 1;
+  serve::put_u32(ok.payload, 17);
+  EXPECT_EQ(hex(serve::encode_frame(ok)),
+            "4f52545001820000000000000100000004000000e6efe1c911000000");
+}
+
+TEST(ServeProtocolGolden, PinnedFramesRoundTrip) {
+  const serve::QueryPair one{3, 17};
+  const serve::Frame request =
+      serve::make_next_hop_request(0, std::span<const serve::QueryPair>(&one, 1));
+  std::size_t consumed = 0;
+  const serve::Frame back =
+      serve::parse_frame(serve::encode_frame(request), &consumed);
+  EXPECT_EQ(back, request);
+  EXPECT_EQ(consumed, serve::kWireHeaderBytes + 8);
+  const auto pairs = serve::decode_query_pairs(back);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], one);
+}
+
+TEST(ServeProtocol, WireCrcIsZlibCompatible) {
+  // The golden next_hop request's CRC field (0x0308e870) must equal
+  // zlib's crc32 over its payload — same convention as the ORT2 frame.
+  const std::uint8_t payload[] = {3, 0, 0, 0, 17, 0, 0, 0};
+  EXPECT_EQ(bitio::crc32(payload, sizeof payload), 0x0308e870u);
+}
+
+TEST(ServeProtocol, HeaderRejectionsAreTyped) {
+  const auto code_of = [](std::vector<std::uint8_t> bytes) {
+    try {
+      serve::Frame f;
+      (void)serve::parse_header(bytes, f);
+      return serve::WireError{};
+    } catch (const serve::ProtocolError& e) {
+      return e.code();
+    }
+  };
+  std::vector<std::uint8_t> good =
+      serve::encode_frame(serve::make_ping_request());
+
+  EXPECT_EQ(code_of({good.begin(), good.begin() + 10}),
+            serve::WireError::kTruncated);
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(code_of(bad_magic), serve::WireError::kBadMagic);
+  auto bad_version = good;
+  bad_version[4] = 9;
+  EXPECT_EQ(code_of(bad_version), serve::WireError::kVersionMismatch);
+  auto bad_opcode = good;
+  bad_opcode[5] = 0x42;
+  EXPECT_EQ(code_of(bad_opcode), serve::WireError::kBadOpcode);
+  auto bad_reserved = good;
+  bad_reserved[6] = 1;
+  EXPECT_EQ(code_of(bad_reserved), serve::WireError::kMalformed);
+  auto huge_payload = good;
+  huge_payload[18] = 0xFF;  // payload_len byte 2 → 16 MiB
+  EXPECT_EQ(code_of(huge_payload), serve::WireError::kResourceLimit);
+  auto huge_pairs = good;
+  huge_pairs[14] = 0xFF;  // pair_count byte 2 → > 2^16
+  EXPECT_EQ(code_of(huge_pairs), serve::WireError::kResourceLimit);
+  auto bad_crc = serve::encode_frame(serve::make_next_hop_request(
+      0, std::vector<serve::QueryPair>{{1, 2}}));
+  bad_crc.back() ^= 1;  // payload bit flip → checksum catches it
+  try {
+    (void)serve::parse_frame(bad_crc);
+    FAIL() << "corrupt payload must not parse";
+  } catch (const serve::ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::WireError::kChecksumMismatch);
+  }
+}
+
+// ---- Served answers == the in-memory oracle, all seven kinds -------------
+
+TEST(ServeServer, DifferentialOracleAllSevenKinds) {
+  const Graph g = certified(48, 1996);
+  const auto n = static_cast<NodeId>(g.node_count());
+  TempDir dir;
+  const std::vector<Fixture> fixtures = all_seven(dir, g);
+
+  serve::ArtifactStore store(dir.str());
+  const serve::LoadReport report = store.load();
+  ASSERT_TRUE(report.ok()) << serve::format_load_failure(report.failures[0]);
+  ASSERT_EQ(report.loaded, fixtures.size());
+
+  Harness harness(store);
+  serve::Client client = harness.client();
+
+  std::vector<serve::QueryPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) pairs.push_back({u, v});
+    }
+  }
+
+  for (std::size_t id = 0; id < fixtures.size(); ++id) {
+    const model::RoutingScheme& oracle = *fixtures[id].scheme;
+    const auto hops =
+        client.next_hops(static_cast<std::uint32_t>(id), pairs);
+    ASSERT_EQ(hops.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      model::MessageHeader header;
+      const NodeId expect = oracle.next_hop(
+          pairs[i].src, oracle.label_of(pairs[i].dst), header);
+      ASSERT_EQ(hops[i], expect)
+          << oracle.name() << ": src=" << pairs[i].src
+          << " dst=" << pairs[i].dst;
+    }
+  }
+}
+
+TEST(ServeServer, RoutesMatchTheOracleWalk) {
+  const Graph g = certified(32, 7);
+  TempDir dir;
+  // The two header-stateful kinds exercise the persistent-header walk.
+  std::vector<Fixture> fixtures;
+  fixtures.push_back(
+      add_fixture(dir, "g0", g, schemes::HierarchicalScheme(g)));
+  fixtures.push_back(
+      add_fixture(dir, "g1", g, schemes::SequentialSearchScheme(g)));
+
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  Harness harness(store);
+  serve::Client client = harness.client();
+
+  const auto n = static_cast<NodeId>(g.node_count());
+  std::vector<serve::QueryPair> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) pairs.push_back({u, v});
+    }
+  }
+  for (std::size_t id = 0; id < fixtures.size(); ++id) {
+    const model::RoutingScheme& oracle = *fixtures[id].scheme;
+    const auto paths = client.routes(static_cast<std::uint32_t>(id), pairs);
+    ASSERT_EQ(paths.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      // Local oracle walk, persistent header — the daemon's kRoute
+      // semantics (and the CLI route command's).
+      std::vector<NodeId> expect;
+      model::MessageHeader header;
+      NodeId at = pairs[i].src;
+      const NodeId dest_label = oracle.label_of(pairs[i].dst);
+      while (at != pairs[i].dst) {
+        const NodeId next = oracle.next_hop(at, dest_label, header);
+        header.came_from = at;
+        at = next;
+        expect.push_back(at);
+      }
+      ASSERT_EQ(paths[i], expect)
+          << oracle.name() << ": src=" << pairs[i].src
+          << " dst=" << pairs[i].dst;
+    }
+  }
+}
+
+TEST(ServeServer, PingListAndTypedRequestErrors) {
+  const Graph g = certified(32, 11);
+  TempDir dir;
+  const std::vector<Fixture> fixtures = all_seven(dir, g);
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  Harness harness(store);
+  serve::Client client = harness.client();
+
+  client.ping();  // throws on failure
+
+  const auto rows = client.list();
+  ASSERT_EQ(rows.size(), fixtures.size());
+  for (std::size_t id = 0; id < rows.size(); ++id) {
+    EXPECT_EQ(rows[id].id, id);
+    EXPECT_EQ(rows[id].name, fixtures[id].stem);
+    EXPECT_EQ(rows[id].node_count, g.node_count());
+  }
+  EXPECT_EQ(static_cast<schemes::SchemeKind>(rows[1].kind),
+            schemes::SchemeKind::kFullTable);
+
+  EXPECT_EQ(client.reload(), fixtures.size());
+
+  // Request-level failures come back as typed error frames on a healthy
+  // connection — the client surfaces them as ProtocolError.
+  try {
+    (void)client.next_hops(99, std::vector<serve::QueryPair>{{0, 1}});
+    FAIL() << "unknown artifact must be rejected";
+  } catch (const serve::ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::WireError::kUnknownArtifact);
+  }
+  try {
+    (void)client.next_hops(0, std::vector<serve::QueryPair>{{0, 999}});
+    FAIL() << "out-of-range pair must be rejected";
+  } catch (const serve::ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::WireError::kBadPair);
+  }
+  try {
+    (void)client.next_hops(0, std::vector<serve::QueryPair>{{5, 5}});
+    FAIL() << "src == dst must be rejected";
+  } catch (const serve::ProtocolError& e) {
+    EXPECT_EQ(e.code(), serve::WireError::kBadPair);
+  }
+  client.ping();  // the connection survived every typed error
+}
+
+// ---- Hot reload under live traffic ---------------------------------------
+
+TEST(ServeServer, HotReloadMidStreamDropsNothing) {
+  const Graph g = certified(48, 1996);
+  const auto n = static_cast<NodeId>(g.node_count());
+  TempDir dir;
+  // Full-table routes to the least shortest-path successor; the hub
+  // scheme detours via its hub — observably different answers, so the
+  // reload transition is visible in the served hops.
+  const schemes::FullTableScheme before = schemes::FullTableScheme::standard(g);
+  const schemes::HubScheme after(g);
+  core::save_graph(dir.file("g0.eg"), g);
+  schemes::save_artifact(dir.file("g0.ort"), schemes::serialize(before));
+
+  std::vector<serve::QueryPair> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) pairs.push_back({u, v});
+    }
+  }
+  const auto oracle_of = [&](const model::RoutingScheme& s) {
+    std::vector<NodeId> hops(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      model::MessageHeader header;
+      hops[i] = s.next_hop(pairs[i].src, s.label_of(pairs[i].dst), header);
+    }
+    return hops;
+  };
+  const std::vector<NodeId> oracle_a = oracle_of(before);
+  const std::vector<NodeId> oracle_b = oracle_of(after);
+  ASSERT_NE(oracle_a, oracle_b)
+      << "fixture schemes must answer differently somewhere";
+
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  Harness harness(store);
+
+  std::atomic<bool> reloaded{false};
+  std::atomic<bool> stop{false};
+  std::size_t matched_a = 0;
+  std::size_t matched_b = 0;
+  std::size_t matched_b_after_reload = 0;
+  std::size_t after_reload = 0;
+  std::string failure;
+
+  std::thread querier([&, client = harness.client()]() mutable {
+    while (!stop.load()) {
+      const bool sent_after_reload = reloaded.load();
+      std::vector<NodeId> hops;
+      try {
+        hops = client.next_hops(0, pairs);
+      } catch (const std::exception& e) {
+        failure = e.what();  // any dropped/failed request fails the test
+        return;
+      }
+      if (hops == oracle_a) {
+        ++matched_a;
+      } else if (hops == oracle_b) {
+        ++matched_b;
+      } else {
+        failure = "served answers matched neither artifact";
+        return;
+      }
+      if (sent_after_reload) {
+        ++after_reload;
+        if (hops == oracle_b) ++matched_b_after_reload;
+      }
+    }
+  });
+
+  // Let traffic flow on the old artifact, swap it (atomic tmp+rename),
+  // reload over a second connection, then let traffic continue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  schemes::save_artifact(dir.file("g0.ort"), schemes::serialize(after));
+  {
+    serve::Client admin = harness.client();
+    EXPECT_EQ(admin.reload(), 1u);
+  }
+  reloaded.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  querier.join();
+
+  EXPECT_TRUE(failure.empty()) << failure;
+  EXPECT_GT(matched_a, 0u) << "no request was served by the old artifact";
+  EXPECT_GT(after_reload, 0u) << "no request was sent after the reload";
+  // A request sent after reload() returned must answer from the new
+  // catalog: the swap happened-before the reload response.
+  EXPECT_EQ(matched_b_after_reload, after_reload);
+  EXPECT_GT(matched_b, 0u);
+}
+
+// ---- Pinned serve.* counter deltas ---------------------------------------
+
+TEST(ServeServer, CounterDeltasArePinned) {
+  const Graph g = certified(32, 3);
+  TempDir dir;
+  core::save_graph(dir.file("g0.eg"), g);
+  schemes::save_artifact(dir.file("g0.ort"),
+                         schemes::serialize(schemes::FullTableScheme::standard(g)));
+
+  obs::ScopedRegistry scoped;
+  auto& reg = scoped.registry();
+
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  EXPECT_EQ(reg.counter_value("serve.reloads"), 1u);
+  EXPECT_EQ(reg.counter_value("serve.artifact_mmaps"), 1u);
+  EXPECT_EQ(reg.gauge_value("serve.artifacts"), 1);
+
+  // The pure dispatch core, no sockets: every counter below is a direct
+  // consequence of exactly one frame.
+  serve::Server server(store, {});
+  const auto call = [&](const serve::Frame& f) {
+    return serve::parse_frame(server.handle_request(serve::encode_frame(f)));
+  };
+
+  EXPECT_FALSE(call(serve::make_ping_request()).is_error());
+  EXPECT_EQ(reg.counter_value("serve.requests"), 1u);
+  EXPECT_EQ(reg.counter_value("serve.requests.ping"), 1u);
+
+  const std::vector<serve::QueryPair> three{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_FALSE(call(serve::make_next_hop_request(0, three)).is_error());
+  EXPECT_EQ(reg.counter_value("serve.requests"), 2u);
+  EXPECT_EQ(reg.counter_value("serve.requests.next_hop"), 1u);
+  EXPECT_EQ(reg.counter_value("serve.pairs"), 3u);
+
+  auto bad_magic = serve::encode_frame(serve::make_ping_request());
+  bad_magic[0] ^= 0xFF;
+  const serve::Frame err = serve::parse_frame(server.handle_request(bad_magic));
+  ASSERT_TRUE(err.is_error());
+  EXPECT_EQ(serve::decode_error(err).code, serve::WireError::kBadMagic);
+  EXPECT_EQ(reg.counter_value("serve.requests"), 3u);
+  EXPECT_EQ(reg.counter_value("serve.errors"), 1u);
+  EXPECT_EQ(reg.counter_value("serve.errors.bad-magic"), 1u);
+
+  const serve::Frame unknown =
+      call(serve::make_next_hop_request(42, three));
+  ASSERT_TRUE(unknown.is_error());
+  EXPECT_EQ(serve::decode_error(unknown).code,
+            serve::WireError::kUnknownArtifact);
+  EXPECT_EQ(reg.counter_value("serve.errors"), 2u);
+  EXPECT_EQ(reg.counter_value("serve.errors.unknown-artifact"), 1u);
+
+  EXPECT_FALSE(call(serve::make_reload_request()).is_error());
+  EXPECT_EQ(reg.counter_value("serve.reloads"), 2u);
+}
+
+/// load() must never swap in a half-loaded catalog: a corrupt artifact
+/// keeps the previous snapshot serving, with the failure attributed to
+/// the right file in reject_file format.
+TEST(ServeStore, FailedReloadKeepsTheOldCatalog) {
+  const Graph g = certified(32, 5);
+  TempDir dir;
+  core::save_graph(dir.file("g0.eg"), g);
+  schemes::save_artifact(dir.file("g0.ort"),
+                         schemes::serialize(schemes::FullTableScheme::standard(g)));
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  const auto catalog = store.catalog();
+
+  // Corrupt the artifact on disk and reload: report the .ort, keep serving.
+  std::vector<std::uint8_t> raw;
+  {
+    std::ifstream in(dir.file("g0.ort"), std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  raw[raw.size() / 2] ^= 0xFF;
+  {
+    std::ofstream out(dir.file("g0.ort"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+  }
+  const serve::LoadReport bad = store.load();
+  EXPECT_FALSE(bad.ok());
+  ASSERT_EQ(bad.failures.size(), 1u);
+  EXPECT_EQ(bad.failures[0].path, dir.file("g0.ort"));
+  EXPECT_EQ(serve::format_load_failure(bad.failures[0]).rfind("error: ", 0), 0u);
+  EXPECT_EQ(store.catalog(), catalog) << "failed reload must not swap";
+}
+
+}  // namespace
+}  // namespace optrt

@@ -4,8 +4,10 @@
 # distance cache, sharded verifier, fault-injection sweeps) with
 # ThreadSanitizer and AddressSanitizer+UBSan. Mirrors what a GitHub
 # Actions job would run. The fault suites are also tagged for quick
-# selection with `ctest -L faults`, and the artifact-corruption suites
-# (seeded chaos harness + CLI integrity checks) with `ctest -L chaos`.
+# selection with `ctest -L faults`, the artifact-corruption suites
+# (seeded chaos harness + CLI integrity checks) with `ctest -L chaos`,
+# and the serving-daemon suites (wire protocol, accept loop, hot reload)
+# with `ctest -L serve`.
 #
 #   tools/ci.sh            # default + tsan + asan
 #   tools/ci.sh default    # just one stage
@@ -22,7 +24,8 @@ fi
 # everything under TSan would double CI time for no coverage.
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
   faults_test resilience_test obs_test instrumentation_test
-  serialization_test chaos_test fuzz_test fastpath_test rank_select_test)
+  serialization_test chaos_test fuzz_test fastpath_test rank_select_test
+  serve_test serve_chaos_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
@@ -40,6 +43,10 @@ for stage in "${STAGES[@]}"; do
     # bit-identical to the decode path (nonzero exit on divergence).
     echo "=== [$stage] bench_lookup --smoke ==="
     ./build/bench/bench_lookup --smoke -o build/BENCH_lookup_smoke.json
+    # Smoke-run the serving benchmark: self-hosts a server on a Unix
+    # socket and checks served answers against the local oracle.
+    echo "=== [$stage] bench_serving --smoke ==="
+    ./build/bench/bench_serving --smoke -o build/BENCH_serving_smoke.json
   fi
 done
 

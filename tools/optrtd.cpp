@@ -1,0 +1,69 @@
+// optrtd — the route-serving daemon.
+//
+// Mmaps a directory of ORT2 artifacts (each `<name>.ort` paired with its
+// `<name>.eg` graph), compiles each to its FastPath, and answers ORTP v1
+// queries over Unix and/or TCP stream sockets until SIGINT/SIGTERM.
+// SIGHUP hot-reloads the directory without dropping in-flight requests.
+//
+//   optrtd --dir DIR (--socket PATH | --port N [--host H]) [options]
+//
+// Exit codes mirror optrt_cli verify-artifact: 0 clean shutdown, 2 when
+// the artifact directory fails to load or a listener cannot bind.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/parallel.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: optrtd --dir DIR (--socket PATH | --port N)\n"
+               "              [--host H] [--threads N] [--idle-timeout-ms N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optrt::core::apply_threads_flag(argc, argv);
+  optrt::serve::DaemonOptions options;
+  options.server.threads = optrt::core::default_threads();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      options.artifact_dir = next();
+    } else if (arg == "--socket") {
+      options.server.unix_path = next();
+    } else if (arg == "--port") {
+      options.server.tcp_port = std::atoi(next());
+    } else if (arg == "--host") {
+      options.server.tcp_host = next();
+    } else if (arg == "--idle-timeout-ms") {
+      options.server.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "optrtd: unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (options.artifact_dir.empty() ||
+      (options.server.unix_path.empty() && options.server.tcp_port < 0)) {
+    usage();
+    return 2;
+  }
+  return optrt::serve::run_daemon(options);
+}
