@@ -1,6 +1,9 @@
 // Distributed deployment story: build the Theorem 1 tables in-network
 // (one neighbour-exchange round), persist them as an artifact, reload, and
-// serve traffic — the full lifecycle a real system would run.
+// serve traffic — the full lifecycle a real system would run. Then the
+// same lifecycle on an Internet-like topology, where Theorem 1 does not
+// apply: elect a Thorup-Zwick landmark set in-network and serve through
+// the stretch-3 scheme.
 //
 //   $ ./distributed_build [n] [seed]
 #include <cstdlib>
@@ -60,6 +63,50 @@ int main(int argc, char** argv) {
   // 4. And certify the routes are shortest paths.
   const auto result = model::verify_scheme(g, loaded);
   std::cout << "verified: max stretch " << result.max_stretch << " over "
-            << result.pairs_checked << " pairs\n";
-  return result.ok() && stats.dropped == 0 ? 0 : 1;
+            << result.pairs_checked << " pairs\n\n";
+
+  // 5. The same lifecycle where Theorem 1 does not apply: a power-law
+  //    (Internet-like) topology. Elect a TZ landmark set in-network —
+  //    coin flips, landmark floods, bounded cluster announcements — and
+  //    serve through the stretch-3 scheme.
+  const graph::Graph pl =
+      graph::TopologyFamily::power_law(2).make(n, seed + 2);
+  std::cout << "power-law network: n=" << n << " |E|=" << pl.edge_count()
+            << "\n";
+  schemes::TzOptions tz_opt;
+  tz_opt.seed = seed + 3;
+  const auto tz = net::distributed_tz_construction(pl, tz_opt);
+  std::cout << "tz landmark election: " << tz.landmark_count
+            << " landmarks, " << tz.rounds << " rounds, " << tz.messages
+            << " messages, " << tz.message_bits
+            << " payload bits exchanged\n";
+
+  const auto tz_artifact = schemes::serialize(*tz.scheme);
+  const std::string tz_path = "/tmp/optrt_distributed_build_tz.ort";
+  schemes::save_artifact(tz_path, tz_artifact);
+  const schemes::TzScheme tz_loaded =
+      schemes::deserialize_tz(schemes::load_artifact(tz_path), pl);
+  std::cout << "artifact: " << tz_artifact.size() << " bits -> " << tz_path
+            << " (reloaded ok)\n";
+
+  net::Simulator tz_sim(pl, tz_loaded, config);
+  graph::Rng tz_traffic_rng(seed + 4);
+  const auto tz_traffic = net::permutation_traffic(n, tz_traffic_rng);
+  for (const auto& [u, v] : tz_traffic) tz_sim.send(u, v);
+  const auto tz_stats = tz_sim.run();
+  const auto tz_result = model::verify_scheme_stretch(pl, tz_loaded, 3.0);
+  std::cout << "traffic: " << tz_stats.delivered << "/" << tz_traffic.size()
+            << " delivered, mean hops "
+            << core::TextTable::num(tz_stats.mean_hops(), 2)
+            << "\nverified: max stretch " << tz_result.base.max_stretch
+            << ", avg stretch "
+            << core::TextTable::num(tz_result.base.mean_stretch, 3)
+            << " over " << tz_result.base.pairs_checked
+            << " pairs, bound 3 holds: "
+            << (tz_result.ok() ? "yes" : "NO") << "\n";
+
+  return result.ok() && stats.dropped == 0 && tz_result.ok() &&
+                 tz_stats.dropped == 0
+             ? 0
+             : 1;
 }

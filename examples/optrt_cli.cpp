@@ -18,7 +18,8 @@
 //                      [--artifact ID] [SRC DST | --batch PAIRS.txt]
 //
 // Families: uniform gnp:<p> chain ring complete star grid:<r>x<c>
-//           hypercube:<d> gb:<k>
+//           hypercube:<d> gb:<k> ba:<m> power-law:<m> config:<exp>,<mindeg>
+//           grid
 // Models:   IA.alpha IA.beta IA.gamma IB.alpha ... II.gamma
 // Objectives: shortest stretch1.5 stretch2 stretchlog fullinfo
 // Traffic:  uniform allpairs hotspot permutation
@@ -77,7 +78,7 @@ using namespace optrt;
       "ping|next-hop|route|list|reload]\n"
       "      [--artifact ID] [SRC DST | --batch PAIRS.txt]\n"
       "families: uniform gnp:<p> chain ring complete star grid:<r>x<c> "
-      "hypercube:<d> gb:<k>\n"
+      "hypercube:<d> gb:<k> ba:<m> power-law:<m> config:<exp>,<mindeg> grid\n"
       "global: --threads N (worker threads for verify/sizes/sweep; default "
       "$OPTRT_THREADS or hardware)\n"
       "        --metrics-json FILE   write merged metrics registry as JSON\n"
@@ -224,6 +225,13 @@ graph::Graph make_graph(const std::string& family, std::size_t n,
   if (family.rfind("gb:", 0) == 0) {
     return graph::lower_bound_gb(std::strtoul(family.c_str() + 3, nullptr, 10));
   }
+  // Internet-like families share the bench's TopologyFamily grammar:
+  // ba:<m> / power-law:<m>, config:<exponent>,<min-degree>, grid (near-
+  // square auto-factorization, unlike the explicit grid:<r>x<c> above).
+  try {
+    return graph::TopologyFamily::parse(family).make(n, seed);
+  } catch (const std::invalid_argument&) {
+  }
   usage("unknown family " + family);
 }
 
@@ -341,6 +349,9 @@ int cmd_compile(const Args& args) {
   } else if (const auto* ss = dynamic_cast<const schemes::SequentialSearchScheme*>(
                  scheme.get())) {
     artifact = schemes::serialize(*ss);
+  } else if (const auto* tz =
+                 dynamic_cast<const schemes::TzScheme*>(scheme.get())) {
+    artifact = schemes::serialize(*tz);
   } else {
     std::cerr << "scheme '" << scheme->name()
               << "' has no stored tables to serialize; reporting only\n";

@@ -71,3 +71,4 @@
 #include "schemes/routing_center.hpp"
 #include "schemes/sequential_search.hpp"
 #include "schemes/serialization.hpp"
+#include "schemes/tz.hpp"

@@ -1,6 +1,12 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace optrt::graph {
 
@@ -90,6 +96,308 @@ Graph hypercube(std::size_t dimension) {
     }
   }
   return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach >= 1");
+  if (n < attach + 1) {
+    throw std::invalid_argument("barabasi_albert: need n >= attach + 1");
+  }
+  Graph g(n);
+  // One entry per edge endpoint: sampling an entry uniformly samples a node
+  // with probability proportional to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * (attach + (n - attach - 1) * attach));
+  for (NodeId v = 1; v <= attach; ++v) {
+    g.add_edge(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  std::vector<NodeId> chosen;
+  chosen.reserve(attach);
+  for (NodeId u = static_cast<NodeId>(attach + 1); u < n; ++u) {
+    chosen.clear();
+    std::uniform_int_distribution<std::size_t> pick(0, endpoints.size() - 1);
+    while (chosen.size() < attach) {
+      const NodeId v = endpoints[pick(rng)];
+      if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
+      chosen.push_back(v);
+    }
+    for (const NodeId v : chosen) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> power_law_degrees(std::size_t n, double exponent,
+                                           std::size_t min_degree, Rng& rng) {
+  if (exponent <= 1.0) {
+    throw std::invalid_argument("power_law_degrees: exponent <= 1");
+  }
+  if (min_degree == 0) {
+    throw std::invalid_argument("power_law_degrees: min_degree >= 1");
+  }
+  if (n < 2 || min_degree >= n) {
+    throw std::invalid_argument("power_law_degrees: need min_degree < n - 1");
+  }
+  const std::size_t max_degree = n - 1;
+  std::vector<double> cdf;
+  cdf.reserve(max_degree - min_degree + 1);
+  double total = 0.0;
+  for (std::size_t d = min_degree; d <= max_degree; ++d) {
+    total += std::pow(static_cast<double>(d), -exponent);
+    cdf.push_back(total);
+  }
+  std::vector<std::size_t> degrees(n);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (auto& deg : degrees) {
+    const double x = unit(rng) * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+    deg = min_degree + static_cast<std::size_t>(it - cdf.begin());
+    if (deg > max_degree) deg = max_degree;
+  }
+  const std::size_t sum =
+      std::accumulate(degrees.begin(), degrees.end(), std::size_t{0});
+  if (sum % 2 != 0) {
+    // All-max sequences have even sum n(n-1), so a bumpable entry exists.
+    for (auto& deg : degrees) {
+      if (deg < max_degree) {
+        ++deg;
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+Graph configuration_model(std::span<const std::size_t> degrees, Rng& rng) {
+  const std::size_t n = degrees.size();
+  std::size_t sum = 0;
+  for (const std::size_t d : degrees) {
+    if (d >= n) throw std::invalid_argument("configuration_model: degree >= n");
+    sum += d;
+  }
+  if (sum % 2 != 0) {
+    throw std::invalid_argument("configuration_model: odd degree sum");
+  }
+
+  std::vector<NodeId> stubs;
+  stubs.reserve(sum);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < degrees[v]; ++k) stubs.push_back(v);
+  }
+  std::shuffle(stubs.begin(), stubs.end(), rng);
+
+  const auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair<NodeId, NodeId>{a, b}
+                 : std::pair<NodeId, NodeId>{b, a};
+  };
+  std::vector<std::pair<NodeId, NodeId>> accepted;
+  std::set<std::pair<NodeId, NodeId>> present;
+  std::vector<std::pair<NodeId, NodeId>> invalid;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const auto e = norm(stubs[i], stubs[i + 1]);
+    if (e.first == e.second || present.count(e) != 0) {
+      invalid.push_back(e);
+    } else {
+      accepted.push_back(e);
+      present.insert(e);
+    }
+  }
+
+  // Rewire each invalid pairing through a degree-preserving edge swap:
+  // (a,b) bad + (c,d) accepted → (a,c) + (b,d), when both new edges are
+  // simple and absent. The partner search starts at a random offset but
+  // scans the whole accepted list, so a pair is dropped (its endpoints
+  // lose one stub each) only when no landing swap exists at all.
+  for (const auto& [a, b] : invalid) {
+    if (accepted.empty()) break;
+    std::uniform_int_distribution<std::size_t> pick(0, accepted.size() - 1);
+    const std::size_t start = pick(rng);
+    for (std::size_t step = 0; step < accepted.size(); ++step) {
+      const std::size_t j = (start + step) % accepted.size();
+      const auto [c, d] = accepted[j];
+      const auto e1 = norm(a, c);
+      const auto e2 = norm(b, d);
+      if (a == c || b == d || e1 == e2 || present.count(e1) != 0 ||
+          present.count(e2) != 0) {
+        continue;
+      }
+      present.erase(accepted[j]);
+      accepted[j] = e1;
+      present.insert(e1);
+      accepted.push_back(e2);
+      present.insert(e2);
+      break;
+    }
+  }
+
+  Graph g(n);
+  for (const auto& [u, v] : accepted) g.add_edge(u, v);
+
+  // Connectivity repair: breadth-first sweep from node 0; every later
+  // component is bridged to node 0's component via its least node.
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> queue;
+  const auto flood = [&](NodeId start) {
+    queue.clear();
+    queue.push_back(start);
+    seen[start] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const NodeId w : g.neighbors(queue[head])) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  };
+  if (n > 0) flood(0);
+  for (NodeId v = 1; v < n; ++v) {
+    if (!seen[v]) {
+      g.add_edge(0, v);
+      flood(v);
+    }
+  }
+  return g;
+}
+
+Graph random_power_law(std::size_t n, double exponent, std::size_t min_degree,
+                       Rng& rng) {
+  const auto degrees = power_law_degrees(n, exponent, min_degree, rng);
+  return configuration_model(degrees, rng);
+}
+
+std::string TopologyFamily::name() const {
+  char buf[64];
+  switch (kind) {
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kGnp:
+      std::snprintf(buf, sizeof buf, "gnp(%g)", p);
+      return buf;
+    case Kind::kPowerLaw:
+      std::snprintf(buf, sizeof buf, "power-law(m=%zu)", attach);
+      return buf;
+    case Kind::kConfigModel:
+      std::snprintf(buf, sizeof buf, "config(%g,%zu)", exponent, min_degree);
+      return buf;
+    case Kind::kGrid:
+      return "grid";
+    case Kind::kRing:
+      return "ring";
+  }
+  throw std::logic_error("TopologyFamily::name: bad kind");
+}
+
+Graph TopologyFamily::make(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed);
+  switch (kind) {
+    case Kind::kUniform:
+      return random_uniform(n, rng);
+    case Kind::kGnp:
+      return random_gnp(n, p, rng);
+    case Kind::kPowerLaw:
+      return barabasi_albert(n, attach, rng);
+    case Kind::kConfigModel:
+      return random_power_law(n, exponent, min_degree, rng);
+    case Kind::kGrid: {
+      std::size_t rows = 1;
+      for (std::size_t r = 1; r * r <= n; ++r) {
+        if (n % r == 0) rows = r;
+      }
+      return optrt::graph::grid(rows, n / rows);
+    }
+    case Kind::kRing:
+      return optrt::graph::ring(n);
+  }
+  throw std::logic_error("TopologyFamily::make: bad kind");
+}
+
+TopologyFamily TopologyFamily::uniform() { return {}; }
+
+TopologyFamily TopologyFamily::gnp(double p) {
+  TopologyFamily f;
+  f.kind = Kind::kGnp;
+  f.p = p;
+  return f;
+}
+
+TopologyFamily TopologyFamily::power_law(std::size_t attach) {
+  TopologyFamily f;
+  f.kind = Kind::kPowerLaw;
+  f.attach = attach;
+  return f;
+}
+
+TopologyFamily TopologyFamily::config_model(double exponent,
+                                            std::size_t min_degree) {
+  TopologyFamily f;
+  f.kind = Kind::kConfigModel;
+  f.exponent = exponent;
+  f.min_degree = min_degree;
+  return f;
+}
+
+TopologyFamily TopologyFamily::grid() {
+  TopologyFamily f;
+  f.kind = Kind::kGrid;
+  return f;
+}
+
+TopologyFamily TopologyFamily::ring() {
+  TopologyFamily f;
+  f.kind = Kind::kRing;
+  return f;
+}
+
+TopologyFamily TopologyFamily::parse(const std::string& spec) {
+  const auto bad = [&spec]() -> TopologyFamily {
+    throw std::invalid_argument("TopologyFamily::parse: bad spec '" + spec +
+                                "' (want uniform | gnp:<p> | ba:<attach> | "
+                                "config:<exponent>,<min_degree> | grid | "
+                                "ring)");
+  };
+  if (spec == "uniform") return uniform();
+  if (spec == "grid") return grid();
+  if (spec == "ring") return ring();
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? std::string{} : spec.substr(colon + 1);
+  try {
+    if (head == "gnp" && !rest.empty()) {
+      std::size_t used = 0;
+      const double p = std::stod(rest, &used);
+      if (used != rest.size() || p < 0.0 || p > 1.0) return bad();
+      return gnp(p);
+    }
+    if ((head == "ba" || head == "power-law") && !rest.empty()) {
+      std::size_t used = 0;
+      const unsigned long attach = std::stoul(rest, &used);
+      if (used != rest.size() || attach == 0) return bad();
+      return power_law(attach);
+    }
+    if (head == "config" && !rest.empty()) {
+      const auto comma = rest.find(',');
+      if (comma == std::string::npos) return bad();
+      std::size_t used = 0;
+      const std::string exp_str = rest.substr(0, comma);
+      const std::string deg_str = rest.substr(comma + 1);
+      if (exp_str.empty() || deg_str.empty()) return bad();
+      const double exponent = std::stod(exp_str, &used);
+      if (used != exp_str.size() || exponent <= 1.0) return bad();
+      const unsigned long min_degree = std::stoul(deg_str, &used);
+      if (used != deg_str.size() || min_degree == 0) return bad();
+      return config_model(exponent, min_degree);
+    }
+  } catch (const std::logic_error&) {
+    return bad();
+  }
+  return bad();
 }
 
 Graph lower_bound_gb(std::size_t k) {

@@ -1,10 +1,13 @@
 // Graph generators: random-graph proxies for Kolmogorov random graphs,
-// classic topologies for tests, and the explicit worst-case graph G_B of
-// Theorem 9 / Figure 1.
+// classic topologies for tests, Internet-like power-law families
+// (preferential attachment and the configuration model), and the explicit
+// worst-case graph G_B of Theorem 9 / Figure 1.
 #pragma once
 
 #include <cstdint>
 #include <random>
+#include <span>
+#include <string>
 
 #include "graph/graph.hpp"
 
@@ -43,6 +46,87 @@ using Rng = std::mt19937_64;
 /// d-dimensional hypercube on 2^d nodes (classic interconnect; the home
 /// turf of interval routing).
 [[nodiscard]] Graph hypercube(std::size_t dimension);
+
+/// Barabási–Albert preferential attachment on n nodes: a star seed on
+/// `attach + 1` nodes, then every new node attaches to `attach` distinct
+/// existing nodes chosen with probability proportional to their current
+/// degree (repeated-endpoint sampling, duplicates redrawn). The result is
+/// connected by construction, simple, has exactly
+/// `attach + (n − attach − 1)·attach` edges, and its degree distribution
+/// follows the power-law tail (exponent ≈ 3) of Internet-like topologies.
+/// A pure function of (n, attach, rng state) — bit-deterministic.
+/// Requires n >= attach + 1 and attach >= 1.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t attach,
+                                    Rng& rng);
+
+/// Samples a power-law degree sequence: n degrees in [min_degree, n−1]
+/// with P(d) ∝ d^(−exponent), by inverting the discrete CDF on seeded
+/// uniform draws. The sum is made even (one degree bumped) so the sequence
+/// can seed the configuration model. Requires exponent > 1, min_degree >= 1.
+[[nodiscard]] std::vector<std::size_t> power_law_degrees(std::size_t n,
+                                                         double exponent,
+                                                         std::size_t min_degree,
+                                                         Rng& rng);
+
+/// Configuration model over an explicit degree sequence: stubs are paired
+/// by a seeded shuffle, then the multigraph is repaired toward a simple
+/// connected graph — self-loops and duplicate edges are rewired through
+/// bounded edge swaps (dropped when no swap lands), and remaining
+/// components are joined by deterministic bridge edges. Node i's achieved
+/// degree therefore tracks degrees[i] exactly except where repair had to
+/// drop or add a stub. Deterministic in (degrees, rng state). Requires an
+/// even degree sum and every degree < n.
+[[nodiscard]] Graph configuration_model(std::span<const std::size_t> degrees,
+                                        Rng& rng);
+
+/// Convenience: configuration model over a power_law_degrees(...) draw —
+/// the second Internet-like family (exponent is a free parameter, unlike
+/// preferential attachment's fixed ≈ 3).
+[[nodiscard]] Graph random_power_law(std::size_t n, double exponent,
+                                     std::size_t min_degree, Rng& rng);
+
+/// A named, parameterized topology family: one knob (`n`, plus a seed for
+/// the random families) yields a concrete graph, so every bench and test
+/// can sweep the same family list instead of hand-rolling generator calls.
+/// Deterministic: make(n, seed) is a pure function of its arguments.
+struct TopologyFamily {
+  enum class Kind : std::uint8_t {
+    kUniform,      // G(n, 1/2) — the paper's Kolmogorov-random stand-in
+    kGnp,          // G(n, p)
+    kPowerLaw,     // Barabási–Albert preferential attachment
+    kConfigModel,  // configuration model over a power-law degree draw
+    kGrid,         // near-square grid on exactly n nodes
+    kRing,         // cycle
+  };
+
+  Kind kind = Kind::kUniform;
+  double p = 0.5;              // kGnp edge probability
+  std::size_t attach = 2;      // kPowerLaw edges per new node
+  double exponent = 2.1;       // kConfigModel tail exponent
+  std::size_t min_degree = 2;  // kConfigModel minimum degree
+
+  /// Stable short name for JSON rows and test labels, e.g. "uniform",
+  /// "gnp(0.25)", "power-law(m=2)", "config(2.1,2)", "grid", "ring".
+  [[nodiscard]] std::string name() const;
+
+  /// Builds the family member on exactly n nodes. The deterministic
+  /// families ignore `seed`. Grid factors n as rows × cols with rows the
+  /// largest divisor ≤ √n (prime n degenerates to a chain); ring needs
+  /// n ≥ 3.
+  [[nodiscard]] Graph make(std::size_t n, std::uint64_t seed) const;
+
+  static TopologyFamily uniform();
+  static TopologyFamily gnp(double p);
+  static TopologyFamily power_law(std::size_t attach);
+  static TopologyFamily config_model(double exponent, std::size_t min_degree);
+  static TopologyFamily grid();
+  static TopologyFamily ring();
+
+  /// Parses a bench/CLI spec: "uniform", "gnp:<p>", "ba:<attach>" (alias
+  /// "power-law:<attach>"), "config:<exponent>,<min_degree>", "grid",
+  /// "ring". Throws std::invalid_argument on anything else.
+  static TopologyFamily parse(const std::string& spec);
+};
 
 /// The Theorem 9 / Figure 1 graph G_B on n = 3k nodes. With 0-based ids:
 /// bottom nodes 0..k−1, middle nodes k..2k−1, top nodes 2k..3k−1. Each

@@ -1,6 +1,7 @@
 #include "model/verifier.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <random>
 
 #include "core/parallel.hpp"
@@ -54,12 +55,14 @@ struct SourceAccum {
   double max_stretch = 0.0;
   double stretch_sum = 0.0;
   std::size_t stretch_pairs = 0;
+  std::size_t pairs_over = 0;  ///< delivered pairs beyond the stretch bound
 };
 
 SourceAccum verify_from_source(const graph::Graph& g,
                                const RoutingScheme& scheme,
                                const graph::DistanceMatrix& dist, NodeId u,
-                               std::size_t hop_budget) {
+                               std::size_t hop_budget,
+                               double stretch_bound) {
   SourceAccum acc;
   const std::size_t n = g.node_count();
   for (NodeId v = 0; v < n; ++v) {
@@ -87,6 +90,7 @@ SourceAccum verify_from_source(const graph::Graph& g,
     acc.max_stretch = std::max(acc.max_stretch, stretch);
     acc.stretch_sum += stretch;
     ++acc.stretch_pairs;
+    if (stretch > stretch_bound) ++acc.pairs_over;
   }
   return acc;
 }
@@ -120,11 +124,14 @@ std::size_t route_once(const graph::Graph& g, const RoutingScheme& scheme,
   return out.delivered ? out.edges : 0;
 }
 
-VerificationResult verify_scheme(const graph::Graph& g,
-                                 const RoutingScheme& scheme,
-                                 std::size_t hop_budget, std::size_t threads) {
-  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
-  obs::TraceSpan span("model.verify_scheme");
+namespace {
+
+/// Shared sharded core of verify_scheme and verify_scheme_stretch.
+std::vector<SourceAccum> verify_sharded(const graph::Graph& g,
+                                        const RoutingScheme& scheme,
+                                        std::size_t hop_budget,
+                                        std::size_t threads,
+                                        double stretch_bound) {
   auto& reg = obs::MetricsRegistry::global();
   const obs::Counter pairs = reg.counter("model.verifier.pairs_checked");
   const obs::Histogram route_edges =
@@ -136,15 +143,47 @@ VerificationResult verify_scheme(const graph::Graph& g,
   // count (tests/obs_test.cpp pins this at 1/2/8).
   const auto accums = core::parallel_map<SourceAccum>(
       pool, g.node_count(), [&](std::size_t u) {
-        const SourceAccum acc = verify_from_source(
-            g, scheme, *dist, static_cast<NodeId>(u), hop_budget);
+        const SourceAccum acc =
+            verify_from_source(g, scheme, *dist, static_cast<NodeId>(u),
+                               hop_budget, stretch_bound);
         pairs.inc(acc.pairs_checked);
         route_edges.observe(acc.total_route_edges);
         return acc;
       });
   reg.counter("model.verifier.runs").inc();
   reg.counter("model.verifier.shards_merged").inc(accums.size());
-  return finish(accums);
+  return accums;
+}
+
+}  // namespace
+
+VerificationResult verify_scheme(const graph::Graph& g,
+                                 const RoutingScheme& scheme,
+                                 std::size_t hop_budget, std::size_t threads) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  obs::TraceSpan span("model.verify_scheme");
+  return finish(verify_sharded(g, scheme, hop_budget, threads,
+                               std::numeric_limits<double>::infinity()));
+}
+
+StretchVerificationResult verify_scheme_stretch(const graph::Graph& g,
+                                                const RoutingScheme& scheme,
+                                                double max_stretch,
+                                                std::size_t hop_budget,
+                                                std::size_t threads) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  obs::TraceSpan span("model.verify_scheme_stretch");
+  const auto accums =
+      verify_sharded(g, scheme, hop_budget, threads, max_stretch);
+  StretchVerificationResult result;
+  result.base = finish(accums);
+  result.stretch_bound = max_stretch;
+  for (const SourceAccum& acc : accums) {
+    result.pairs_over_stretch += acc.pairs_over;
+  }
+  obs::counter("model.verifier.pairs_over_stretch")
+      .inc(result.pairs_over_stretch);
+  return result;
 }
 
 VerificationResult verify_scheme_serial(const graph::Graph& g,
@@ -155,7 +194,9 @@ VerificationResult verify_scheme_serial(const graph::Graph& g,
   std::vector<SourceAccum> accums;
   accums.reserve(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
-    accums.push_back(verify_from_source(g, scheme, dist, u, hop_budget));
+    accums.push_back(verify_from_source(
+        g, scheme, dist, u, hop_budget,
+        std::numeric_limits<double>::infinity()));
   }
   return finish(accums);
 }

@@ -50,6 +50,27 @@ struct VerificationResult {
                                                std::size_t hop_budget = 0,
                                                std::size_t threads = 0);
 
+/// verify_scheme plus a stretch bound: the base result, the bound it was
+/// checked against, and how many pairs exceeded it.
+struct StretchVerificationResult {
+  VerificationResult base;
+  double stretch_bound = 0.0;
+  std::size_t pairs_over_stretch = 0;  ///< delivered pairs with stretch > bound
+
+  [[nodiscard]] bool ok() const noexcept {
+    return base.ok() && pairs_over_stretch == 0;
+  }
+};
+
+/// Stretch-aware verification: routes every ordered pair exactly like
+/// verify_scheme (same sharding, same bit-identical merge at any thread
+/// count) and additionally counts pairs whose achieved stretch exceeds
+/// `max_stretch`. ok() demands delivery, no invalid hops, *and* every pair
+/// within the bound; worst-case and average stretch are in `base`.
+[[nodiscard]] StretchVerificationResult verify_scheme_stretch(
+    const graph::Graph& g, const RoutingScheme& scheme, double max_stretch,
+    std::size_t hop_budget = 0, std::size_t threads = 0);
+
 /// Single-threaded reference implementation of verify_scheme, kept as the
 /// differential-testing baseline (tests/verifier_test.cpp compares the
 /// sharded path against it field by field).

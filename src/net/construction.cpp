@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitio/codes.hpp"
+#include "graph/algorithms.hpp"
 
 namespace optrt::net {
 
@@ -41,6 +42,63 @@ ConstructionResult distributed_compact_construction(
     result.node_tables[u] =
         schemes::build_compact_node(view, u, options).bits;
   }
+  return result;
+}
+
+TzConstructionResult distributed_tz_construction(
+    const graph::Graph& g, const schemes::TzOptions& options) {
+  const std::size_t n = g.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+
+  TzConstructionResult result;
+  // The protocol converges to the centralized fixed point; build it first
+  // (this also rejects disconnected graphs the way the protocol would —
+  // a landmark flood that never reaches some node).
+  result.scheme = std::make_unique<schemes::TzScheme>(g, options);
+  const auto dist = graph::DistanceCache::global().get(g);
+  const auto& landmarks = result.scheme->landmarks();
+  result.landmark_count = landmarks.size();
+
+  // Phase 1: every node flips its seeded Bernoulli coin locally — one
+  // round, no traffic.
+  result.rounds = 1;
+
+  // Phase 2: each landmark floods its id over every directed edge; node v
+  // hears landmark l at round d(l, v) and learns d(v, A) plus its port
+  // toward every landmark. The phase lasts the largest landmark
+  // eccentricity.
+  std::size_t flood_rounds = 0;
+  for (const graph::NodeId l : landmarks) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      flood_rounds = std::max<std::size_t>(flood_rounds, dist->at(l, v));
+    }
+  }
+  const std::size_t directed_edges = 2 * g.edge_count();
+  result.rounds += flood_rounds;
+  result.messages += landmarks.size() * directed_edges;
+  result.message_bits += static_cast<std::uint64_t>(landmarks.size()) *
+                         directed_edges * id_width;
+
+  // Phase 3: each node v announces (v, d(v, A)) through its strict ball
+  // { x : d(v, x) < d(v, A) } — exactly the nodes whose cluster gains v.
+  // Nodes within the ball's interior forward over all incident edges; the
+  // phase lasts the largest handoff radius.
+  const unsigned dist_width =
+      bitio::ceil_log2(std::max<std::size_t>(flood_rounds + 2, 2));
+  std::size_t announce_rounds = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::size_t radius = dist->at(v, result.scheme->landmark_of(v));
+    if (radius == 0) continue;  // landmarks announce nothing
+    announce_rounds = std::max<std::size_t>(announce_rounds, radius);
+    std::size_t sent = 0;
+    for (graph::NodeId x = 0; x < n; ++x) {
+      if (dist->at(v, x) < radius) sent += g.degree(x);
+    }
+    result.messages += sent;
+    result.message_bits +=
+        static_cast<std::uint64_t>(sent) * (id_width + dist_width);
+  }
+  result.rounds += announce_rounds;
   return result;
 }
 

@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bitio/bit_vector.hpp"
 #include "graph/graph.hpp"
 #include "schemes/compact_node.hpp"
+#include "schemes/tz.hpp"
 
 namespace optrt::net {
 
@@ -40,5 +42,34 @@ struct ConstructionResult {
 /// (some node's cover incomplete).
 [[nodiscard]] ConstructionResult distributed_compact_construction(
     const graph::Graph& g, const schemes::CompactNodeOptions& options = {});
+
+/// Cost report for electing a Thorup-Zwick landmark set in-network.
+struct TzConstructionResult {
+  /// The scheme the protocol converges to (bit-identical to a centralized
+  /// schemes::TzScheme build with the same options).
+  std::unique_ptr<schemes::TzScheme> scheme;
+  std::size_t landmark_count = 0;
+  /// Synchronous rounds: 1 local coin-flip round, then the landmark floods
+  /// (bounded by the largest landmark eccentricity) and the cluster
+  /// announcements (bounded by the largest handoff radius) run back to
+  /// back.
+  std::size_t rounds = 0;
+  /// Point-to-point messages: every landmark floods the whole network
+  /// (2|E| directed messages each); every node v then floods (v, d(v, A))
+  /// through its strict ball { x : d(v, x) < d(v, A) }.
+  std::size_t messages = 0;
+  /// Total payload bits across both flood phases.
+  std::uint64_t message_bits = 0;
+};
+
+/// Simulates the communication cost of building a TZ landmark scheme
+/// in-network: local Bernoulli coin flips elect A, each landmark's BFS
+/// flood gives every node d(v, A) and its landmark ports, and each node's
+/// bounded announcement flood populates the clusters. The tables
+/// themselves come from the centralized builder (the protocol converges
+/// to the same fixed point); only the cost model is distributed. Throws
+/// schemes::SchemeInapplicable on disconnected graphs.
+[[nodiscard]] TzConstructionResult distributed_tz_construction(
+    const graph::Graph& g, const schemes::TzOptions& options = {});
 
 }  // namespace optrt::net

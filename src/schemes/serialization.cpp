@@ -42,7 +42,7 @@ void check(bool ok, DecodeErrorKind kind, const char* what) {
 
 bool valid_kind(std::uint64_t raw) noexcept {
   return raw >= static_cast<std::uint64_t>(SchemeKind::kCompactDiam2) &&
-         raw <= static_cast<std::uint64_t>(SchemeKind::kSequentialSearch);
+         raw <= static_cast<std::uint64_t>(SchemeKind::kThorupZwick);
 }
 
 /// Frame header plus the extracted (checksum-verified, for v1) payload.
@@ -215,6 +215,7 @@ const char* to_string(SchemeKind kind) noexcept {
     case SchemeKind::kLandmark: return "landmark";
     case SchemeKind::kHierarchical: return "hierarchical";
     case SchemeKind::kSequentialSearch: return "sequential-search";
+    case SchemeKind::kThorupZwick: return "tz";
   }
   return "unknown";
 }
@@ -511,6 +512,46 @@ SequentialSearchScheme deserialize_sequential_search(
   });
 }
 
+bitio::BitVector serialize(const TzScheme& scheme) {
+  const std::size_t n = scheme.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  BitWriter w;
+  bitio::write_prime(w, scheme.landmarks().size());
+  for (graph::NodeId l : scheme.landmarks()) w.write_bits(l, id_width);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    write_bit_vector(w, scheme.function_bits(u));
+  }
+  return record_serialize(frame(SchemeKind::kThorupZwick, n, w.take()));
+}
+
+TzScheme deserialize_tz(const bitio::BitVector& artifact,
+                        const graph::Graph& g) {
+  record_deserialize(artifact);
+  return guarded_decode([&] {
+    const bitio::BitVector payload =
+        open_payload(artifact, SchemeKind::kThorupZwick, g);
+    BitReader r(payload);
+    const std::size_t n = g.node_count();
+    const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+    const std::size_t count =
+        read_count(r, id_width, "landmark set larger than the payload");
+    check(count <= n, DecodeErrorKind::kSemanticInvalid,
+          "more landmarks than nodes");
+    std::vector<graph::NodeId> landmarks(count);
+    for (auto& l : landmarks) {
+      l = static_cast<graph::NodeId>(r.read_bits(id_width));
+      check(l < n, DecodeErrorKind::kSemanticInvalid,
+            "landmark id out of range");
+    }
+    std::vector<bitio::BitVector> node_bits;
+    node_bits.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) node_bits.push_back(read_bit_vector(r));
+    require_exhausted(r);
+    // The table-validating constructor checks ordering and port bounds.
+    return TzScheme(g, std::move(landmarks), std::move(node_bits));
+  });
+}
+
 std::unique_ptr<model::RoutingScheme> deserialize_any(
     const bitio::BitVector& artifact, const graph::Graph& g) {
   SchemeKind kind;
@@ -543,6 +584,8 @@ std::unique_ptr<model::RoutingScheme> deserialize_any(
     case SchemeKind::kSequentialSearch:
       return std::make_unique<SequentialSearchScheme>(
           deserialize_sequential_search(artifact, g));
+    case SchemeKind::kThorupZwick:
+      return std::make_unique<TzScheme>(deserialize_tz(artifact, g));
   }
   fail(DecodeErrorKind::kSemanticInvalid, "unknown scheme kind");
 }

@@ -47,6 +47,7 @@
 #include "schemes/landmark.hpp"
 #include "schemes/routing_center.hpp"
 #include "schemes/sequential_search.hpp"
+#include "schemes/tz.hpp"
 
 namespace optrt::schemes {
 
@@ -59,6 +60,7 @@ enum class SchemeKind : std::uint32_t {
   kLandmark = 5,
   kHierarchical = 6,
   kSequentialSearch = 7,
+  kThorupZwick = 8,
 };
 
 [[nodiscard]] const char* to_string(SchemeKind kind) noexcept;
@@ -136,6 +138,14 @@ struct ArtifactInfo {
 [[nodiscard]] bitio::BitVector serialize(const SequentialSearchScheme& scheme);
 [[nodiscard]] SequentialSearchScheme deserialize_sequential_search(
     const bitio::BitVector& artifact, const graph::Graph& g);
+
+/// Serializes / reconstructs a Thorup-Zwick (stretch-≤3) scheme. Same
+/// payload shape as the landmark scheme: the sorted landmark set, then the
+/// per-node function bits; nearest landmarks and label exit ports are
+/// recomputed from `g`.
+[[nodiscard]] bitio::BitVector serialize(const TzScheme& scheme);
+[[nodiscard]] TzScheme deserialize_tz(const bitio::BitVector& artifact,
+                                      const graph::Graph& g);
 
 /// Kind-dispatching decoder: reconstructs whatever scheme the artifact
 /// holds. Throws DecodeError on any corruption or mismatch with `g`.

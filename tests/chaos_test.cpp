@@ -151,6 +151,13 @@ TEST(Chaos, Hierarchical) {
   run_crc_sweep(artifact, g);
 }
 
+TEST(Chaos, ThorupZwick) {
+  const Graph g = graph::grid(3, 3);
+  const auto artifact = schemes::serialize(schemes::TzScheme(g));
+  run_chaos(artifact, g, 8);
+  run_crc_sweep(artifact, g);
+}
+
 TEST(Chaos, SequentialSearch) {
   const Graph g = graph::grid(3, 3);
   const auto artifact =

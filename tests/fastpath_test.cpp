@@ -23,6 +23,7 @@
 #include "schemes/landmark.hpp"
 #include "schemes/routing_center.hpp"
 #include "schemes/sequential_search.hpp"
+#include "schemes/tz.hpp"
 
 namespace optrt {
 namespace {
@@ -188,6 +189,11 @@ TEST(FastPath, SequentialSearchOnRandomGraph) {
   expect_differentially_equal(schemes::SequentialSearchScheme(g));
 }
 
+TEST(FastPath, ThorupZwickOnRandomGraph) {
+  const Graph g = certified(96, 1996);
+  expect_differentially_equal(schemes::TzScheme(g));
+}
+
 // --- Structured topologies (the diameter-2 kinds do not apply) -------------
 
 TEST(FastPath, GeneralSchemesOnRing) {
@@ -196,6 +202,7 @@ TEST(FastPath, GeneralSchemesOnRing) {
   expect_differentially_equal(schemes::LandmarkScheme(g));
   expect_differentially_equal(schemes::HierarchicalScheme(g));
   expect_differentially_equal(schemes::SequentialSearchScheme(g));
+  expect_differentially_equal(schemes::TzScheme(g));
 }
 
 TEST(FastPath, GeneralSchemesOnGrid) {
@@ -204,6 +211,7 @@ TEST(FastPath, GeneralSchemesOnGrid) {
   expect_differentially_equal(schemes::LandmarkScheme(g));
   expect_differentially_equal(schemes::HierarchicalScheme(g));
   expect_differentially_equal(schemes::SequentialSearchScheme(g));
+  expect_differentially_equal(schemes::TzScheme(g));
 }
 
 // --- Sharded batches: same fingerprint at 1, 2, and 8 threads --------------
@@ -217,6 +225,7 @@ TEST(FastPath, BatchFingerprintsIndependentOfThreadCount) {
   expect_fingerprints_stable(schemes::LandmarkScheme(g));
   expect_fingerprints_stable(schemes::HierarchicalScheme(g));
   expect_fingerprints_stable(schemes::SequentialSearchScheme(g));
+  expect_fingerprints_stable(schemes::TzScheme(g));
 }
 
 // --- Fallback, batch contract, and lookup.* counters -----------------------

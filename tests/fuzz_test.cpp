@@ -314,6 +314,7 @@ TEST(Fuzz, CorruptedArtifactsCompileFastWithIdenticalErrors) {
   const auto artifacts = {
       schemes::serialize(schemes::CompactDiam2Scheme(g, {})),
       schemes::serialize(schemes::FullTableScheme::standard(g)),
+      schemes::serialize(schemes::TzScheme(g)),
   };
   for (const auto& artifact : artifacts) {
     for (std::uint64_t seed = 0; seed < 512; ++seed) {

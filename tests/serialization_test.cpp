@@ -303,7 +303,7 @@ TEST(Serialization, ErrorTaxonomy) {
 
 TEST(Serialization, FromBytesEdgeCases) {
   // Empty input and short headers are truncation, not a crash.
-  EXPECT_THROW((void)from_bytes({}), DecodeError);
+  EXPECT_THROW((void)from_bytes(std::vector<std::uint8_t>{}), DecodeError);
   EXPECT_THROW((void)from_bytes({0, 0, 0}), DecodeError);
   try {
     (void)from_bytes(std::vector<std::uint8_t>(7, 0));
@@ -524,6 +524,10 @@ TEST(Serialization, GoldenV1ArtifactsArePinnedByteForByte) {
       serialize(SequentialSearchScheme(g33)),
       "b0000000000000004f525432010709000000000000000000000069df2265",
       SchemeKind::kSequentialSearch, 9, g33);
+  expect_golden(
+      serialize(TzScheme(g33)),
+      "7b010000000000004f525432010809000000cb00000000000000e992ccca0d62e886088c030a4300c681827188611c2a1882300e000c4100",
+      SchemeKind::kThorupZwick, 9, g33);
 
   const Graph g44 = graph::grid(4, 4);
   HierarchicalOptions opt;

@@ -90,9 +90,9 @@ Fixture add_fixture(const TempDir& dir, const std::string& stem,
   return {stem, std::make_unique<SchemeT>(std::move(scheme))};
 }
 
-/// All seven serializable kinds over one graph, as served fixtures
-/// g0..g6 (ids are sorted-stem ranks, so id == index here).
-std::vector<Fixture> all_seven(const TempDir& dir, const Graph& g) {
+/// All eight serializable kinds over one graph, as served fixtures
+/// g0..g7 (ids are sorted-stem ranks, so id == index here).
+std::vector<Fixture> all_kinds(const TempDir& dir, const Graph& g) {
   std::vector<Fixture> fixtures;
   fixtures.push_back(add_fixture(dir, "g0", g, schemes::CompactDiam2Scheme(g, {})));
   fixtures.push_back(
@@ -103,6 +103,7 @@ std::vector<Fixture> all_seven(const TempDir& dir, const Graph& g) {
   fixtures.push_back(add_fixture(dir, "g5", g, schemes::HierarchicalScheme(g)));
   fixtures.push_back(
       add_fixture(dir, "g6", g, schemes::SequentialSearchScheme(g)));
+  fixtures.push_back(add_fixture(dir, "g7", g, schemes::TzScheme(g)));
   return fixtures;
 }
 
@@ -238,11 +239,11 @@ TEST(ServeProtocol, HeaderRejectionsAreTyped) {
 
 // ---- Served answers == the in-memory oracle, all seven kinds -------------
 
-TEST(ServeServer, DifferentialOracleAllSevenKinds) {
+TEST(ServeServer, DifferentialOracleAllKinds) {
   const Graph g = certified(48, 1996);
   const auto n = static_cast<NodeId>(g.node_count());
   TempDir dir;
-  const std::vector<Fixture> fixtures = all_seven(dir, g);
+  const std::vector<Fixture> fixtures = all_kinds(dir, g);
 
   serve::ArtifactStore store(dir.str());
   const serve::LoadReport report = store.load();
@@ -325,7 +326,7 @@ TEST(ServeServer, RoutesMatchTheOracleWalk) {
 TEST(ServeServer, PingListAndTypedRequestErrors) {
   const Graph g = certified(32, 11);
   TempDir dir;
-  const std::vector<Fixture> fixtures = all_seven(dir, g);
+  const std::vector<Fixture> fixtures = all_kinds(dir, g);
   serve::ArtifactStore store(dir.str());
   ASSERT_TRUE(store.load().ok());
   Harness harness(store);

@@ -1,0 +1,236 @@
+// Generator property tests for the Internet-like topology layer: exact
+// edge-count/degree-sum invariants, seeded bit-determinism at any thread
+// count, connectivity after configuration-model repair, an empirical
+// tail-exponent sanity check for the power-law family, and
+// degree-sequence fidelity of the configuration model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+using graph::TopologyFamily;
+
+std::size_t degree_sum(const Graph& g) {
+  std::size_t sum = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) sum += g.degree(v);
+  return sum;
+}
+
+TEST(BarabasiAlbert, ExactEdgeCountDegreeSumAndConnectivity) {
+  for (const auto& [n, m] : {std::pair<std::size_t, std::size_t>{8, 1},
+                            {50, 2},
+                            {200, 3},
+                            {64, 5}}) {
+    Rng rng(7 * n + m);
+    const Graph g = graph::barabasi_albert(n, m, rng);
+    ASSERT_EQ(g.node_count(), n);
+    // Star seed contributes m edges, every later node exactly m more.
+    EXPECT_EQ(g.edge_count(), m + (n - m - 1) * m) << "n=" << n << " m=" << m;
+    EXPECT_EQ(degree_sum(g), 2 * g.edge_count());
+    EXPECT_TRUE(graph::is_connected(g));
+    EXPECT_GE(g.min_degree(), std::min<std::size_t>(m, 1));
+  }
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(graph::barabasi_albert(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(graph::barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SeededBitDeterminism) {
+  Rng a(42), b(42), c(43);
+  const Graph g1 = graph::barabasi_albert(100, 2, a);
+  const Graph g2 = graph::barabasi_albert(100, 2, b);
+  const Graph g3 = graph::barabasi_albert(100, 2, c);
+  EXPECT_TRUE(g1 == g2);
+  EXPECT_FALSE(g1 == g3);
+}
+
+// Empirical tail sanity: BA degrees follow a power law with exponent ≈ 3,
+// so the CCDF P(D ≥ d) on a log-log plot has slope ≈ −2. A least-squares
+// fit over the resolved range must land well away from the thin-tailed
+// regime (and the max degree must dwarf the mean).
+TEST(BarabasiAlbert, EmpiricalTailExponent) {
+  const std::size_t n = 2048;
+  Rng rng(1996);
+  const Graph g = graph::barabasi_albert(n, 2, rng);
+
+  std::vector<std::size_t> degrees(n);
+  for (NodeId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  const double mean = static_cast<double>(degree_sum(g)) / n;
+  EXPECT_GE(static_cast<double>(g.max_degree()), 8.0 * mean)
+      << "no heavy tail: max degree too close to the mean";
+
+  const std::size_t d_max = g.max_degree();
+  std::vector<double> xs, ys;
+  for (std::size_t d = 2; d <= d_max; ++d) {
+    const auto count = static_cast<std::size_t>(
+        std::count_if(degrees.begin(), degrees.end(),
+                      [d](std::size_t deg) { return deg >= d; }));
+    if (count < 8) break;  // tail too thin to resolve
+    xs.push_back(std::log(static_cast<double>(d)));
+    ys.push_back(std::log(static_cast<double>(count) / n));
+  }
+  ASSERT_GE(xs.size(), 4u);
+  const double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  const double my = std::accumulate(ys.begin(), ys.end(), 0.0) / ys.size();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += (xs[i] - mx) * (ys[i] - my);
+    den += (xs[i] - mx) * (xs[i] - mx);
+  }
+  const double slope = num / den;
+  EXPECT_LT(slope, -1.2) << "CCDF slope too shallow for a power law";
+  EXPECT_GT(slope, -3.5) << "CCDF slope implausibly steep";
+}
+
+TEST(PowerLawDegrees, RangeAndEvenSum) {
+  Rng rng(5);
+  const auto degrees = graph::power_law_degrees(300, 2.1, 2, rng);
+  ASSERT_EQ(degrees.size(), 300u);
+  std::size_t sum = 0;
+  for (std::size_t d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 299u);
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0u);
+  EXPECT_THROW(graph::power_law_degrees(300, 0.5, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(graph::power_law_degrees(300, 2.1, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(ConfigurationModel, ConnectedSimpleAndFaithful) {
+  Rng rng(17);
+  const auto degrees = graph::power_law_degrees(400, 2.1, 2, rng);
+  const Graph g = graph::configuration_model(degrees, rng);
+  ASSERT_EQ(g.node_count(), 400u);
+  EXPECT_TRUE(graph::is_connected(g));  // repair guarantees it
+  EXPECT_EQ(degree_sum(g), 2 * g.edge_count());  // simple by Graph invariant
+
+  // Degree-sequence fidelity: repair only drops unswappable bad pairs and
+  // adds bridge edges, so achieved degrees track the request closely.
+  std::size_t total_request = 0, total_error = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    total_request += degrees[v];
+    const std::size_t got = g.degree(v);
+    total_error += got > degrees[v] ? got - degrees[v] : degrees[v] - got;
+  }
+  EXPECT_LE(total_error * 20, total_request)
+      << "repair rewrote more than 5% of the requested stubs";
+}
+
+TEST(ConfigurationModel, RejectsBadSequences) {
+  Rng rng(3);
+  const std::vector<std::size_t> odd = {1, 1, 1};
+  EXPECT_THROW((void)graph::configuration_model(odd, rng),
+               std::invalid_argument);
+  const std::vector<std::size_t> too_big = {4, 2, 1, 1};
+  EXPECT_THROW((void)graph::configuration_model(too_big, rng),
+               std::invalid_argument);
+}
+
+TEST(ConfigurationModel, RepairsDisconnectedSamples) {
+  // A degree sequence that stub matching happily splits into components
+  // (two K2-able halves); repair must bridge whatever comes out.
+  Rng rng(11);
+  const std::vector<std::size_t> degrees = {1, 1, 1, 1, 1, 1};
+  const Graph g = graph::configuration_model(degrees, rng);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(TopologyFamily, MakesEveryFamilyOnExactlyNNodes) {
+  const std::vector<TopologyFamily> families = {
+      TopologyFamily::uniform(),     TopologyFamily::gnp(0.3),
+      TopologyFamily::power_law(2),  TopologyFamily::config_model(2.1, 2),
+      TopologyFamily::grid(),        TopologyFamily::ring(),
+  };
+  for (const auto& family : families) {
+    const Graph g = family.make(60, 9);
+    EXPECT_EQ(g.node_count(), 60u) << family.name();
+    if (family.kind != TopologyFamily::Kind::kUniform &&
+        family.kind != TopologyFamily::Kind::kGnp) {
+      EXPECT_TRUE(graph::is_connected(g)) << family.name();
+    }
+  }
+  // Near-square grid factorization: 60 = 6 × 10 (6 is the largest divisor
+  // ≤ √60), so interior nodes have degree 4 and the graph is not a chain.
+  const Graph grid = TopologyFamily::grid().make(60, 0);
+  EXPECT_EQ(grid.max_degree(), 4u);
+  EXPECT_EQ(grid.edge_count(), 6u * 9u + 5u * 10u);
+}
+
+TEST(TopologyFamily, ParseRoundTripsAndRejects) {
+  EXPECT_EQ(TopologyFamily::parse("uniform").kind,
+            TopologyFamily::Kind::kUniform);
+  const auto gnp = TopologyFamily::parse("gnp:0.25");
+  EXPECT_EQ(gnp.kind, TopologyFamily::Kind::kGnp);
+  EXPECT_DOUBLE_EQ(gnp.p, 0.25);
+  const auto ba = TopologyFamily::parse("ba:3");
+  EXPECT_EQ(ba.kind, TopologyFamily::Kind::kPowerLaw);
+  EXPECT_EQ(ba.attach, 3u);
+  EXPECT_EQ(TopologyFamily::parse("power-law:2").kind,
+            TopologyFamily::Kind::kPowerLaw);
+  const auto config = TopologyFamily::parse("config:2.4,3");
+  EXPECT_EQ(config.kind, TopologyFamily::Kind::kConfigModel);
+  EXPECT_DOUBLE_EQ(config.exponent, 2.4);
+  EXPECT_EQ(config.min_degree, 3u);
+  EXPECT_EQ(TopologyFamily::parse("grid").kind, TopologyFamily::Kind::kGrid);
+  EXPECT_EQ(TopologyFamily::parse("ring").kind, TopologyFamily::Kind::kRing);
+  for (const char* bad : {"", "nope", "gnp:", "gnp:2.5", "ba:0", "ba:x",
+                          "config:2.1", "config:0.5,2", "config:2.1,0"}) {
+    EXPECT_THROW(TopologyFamily::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(TopologyFamily, NamesAreStable) {
+  EXPECT_EQ(TopologyFamily::uniform().name(), "uniform");
+  EXPECT_EQ(TopologyFamily::gnp(0.25).name(), "gnp(0.25)");
+  EXPECT_EQ(TopologyFamily::power_law(2).name(), "power-law(m=2)");
+  EXPECT_EQ(TopologyFamily::config_model(2.1, 2).name(), "config(2.1,2)");
+  EXPECT_EQ(TopologyFamily::grid().name(), "grid");
+  EXPECT_EQ(TopologyFamily::ring().name(), "ring");
+}
+
+// Seeded bit-determinism at any thread count: building family members for
+// a batch of seeds through parallel_map must produce identical structural
+// fingerprints no matter how the batch is sharded — generation is a pure
+// function of (family, n, seed), never of scheduling.
+TEST(TopologyFamily, BitDeterministicAtAnyThreadCount) {
+  const std::vector<TopologyFamily> families = {
+      TopologyFamily::uniform(),
+      TopologyFamily::power_law(2),
+      TopologyFamily::config_model(2.1, 2),
+      TopologyFamily::grid(),
+      TopologyFamily::ring(),
+  };
+  for (const auto& family : families) {
+    std::vector<std::vector<graph::GraphFingerprint>> runs;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      runs.push_back(core::parallel_map<graph::GraphFingerprint>(
+          threads, 12, [&](std::size_t seed) {
+            return graph::fingerprint(family.make(40, seed + 1));
+          }));
+    }
+    EXPECT_EQ(runs[0], runs[1]) << family.name();
+    EXPECT_EQ(runs[0], runs[2]) << family.name();
+  }
+}
+
+}  // namespace
+}  // namespace optrt

@@ -25,7 +25,7 @@ fi
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
   faults_test resilience_test obs_test instrumentation_test
   serialization_test chaos_test fuzz_test fastpath_test rank_select_test
-  serve_test serve_chaos_test)
+  serve_test serve_chaos_test topology_test tz_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
@@ -47,6 +47,11 @@ for stage in "${STAGES[@]}"; do
     # socket and checks served answers against the local oracle.
     echo "=== [$stage] bench_serving --smoke ==="
     ./build/bench/bench_serving --smoke -o build/BENCH_serving_smoke.json
+    # Smoke-run the related-work sweep: every scheme must deliver within
+    # the stretch-3 bound on every topology family (nonzero exit if not).
+    echo "=== [$stage] bench_related_work --smoke ==="
+    ./build/bench/bench_related_work --smoke \
+      -o build/BENCH_related_work_smoke.json
   fi
 done
 
