@@ -1,8 +1,11 @@
-// Distributed deployment story: build the Theorem 1 tables in-network
-// (one neighbour-exchange round), persist them as an artifact, reload, and
-// serve traffic — the full lifecycle a real system would run. Then the
-// same lifecycle on an Internet-like topology, where Theorem 1 does not
-// apply: elect a Thorup-Zwick landmark set in-network and serve through
+// Distributed deployment story on the CONGEST protocol runtime
+// (net/congest.hpp): build the Theorem 1 tables in-network — every node
+// assembles its table from received messages only — persist them as an
+// artifact, reload, and serve traffic: the full lifecycle a real system
+// would run. Then the same lifecycle on an Internet-like topology, where
+// Theorem 1 does not apply: elect a Thorup-Zwick landmark set in-network
+// (shared-seed coin flips, landmark BFS floods, bounded strict-ball
+// announcements, registration up the shortest-path DAG) and serve through
 // the stretch-3 scheme.
 //
 //   $ ./distributed_build [n] [seed]
@@ -21,9 +24,14 @@ int main(int argc, char** argv) {
   const graph::Graph g = core::certified_random_graph(n, rng);
   std::cout << "network: n=" << n << " |E|=" << g.edge_count() << "\n\n";
 
-  // 1. One synchronous round of neighbour-list exchange builds every
-  //    node's table locally.
+  // 1. One synchronous round of neighbour-list exchange over the real
+  //    links; every node then builds its table from its local 2-hop view.
   const auto built = net::distributed_compact_construction(g);
+  if (built.status != net::ConstructStatus::kOk) {
+    std::cerr << "compact construction failed: " << to_string(built.status)
+              << " (" << built.detail << ")\n";
+    return 1;
+  }
   std::uint64_t table_bits = 0;
   for (const auto& t : built.node_tables) table_bits += t.size();
   std::cout << "construction protocol: " << built.rounds << " round, "
@@ -76,10 +84,20 @@ int main(int argc, char** argv) {
   schemes::TzOptions tz_opt;
   tz_opt.seed = seed + 3;
   const auto tz = net::distributed_tz_construction(pl, tz_opt);
-  std::cout << "tz landmark election: " << tz.landmark_count
-            << " landmarks, " << tz.rounds << " rounds, " << tz.messages
-            << " messages, " << tz.message_bits
-            << " payload bits exchanged\n";
+  if (tz.status != net::ConstructStatus::kOk) {
+    std::cerr << "tz construction failed: " << to_string(tz.status) << " ("
+              << tz.detail << ")\n";
+    return 1;
+  }
+  std::cout << "tz in-network build: " << tz.landmark_count
+            << " landmarks (attempt " << tz.accepted_attempt << "), "
+            << tz.rounds << " rounds, " << tz.messages << " messages, "
+            << tz.message_bits << " payload bits exchanged\n";
+  for (const auto& phase : tz.phase_stats) {
+    std::cout << "  phase " << phase.label << ": " << phase.rounds
+              << " rounds, " << phase.messages << " messages, "
+              << phase.message_bits << " bits\n";
+  }
 
   const auto tz_artifact = schemes::serialize(*tz.scheme);
   const std::string tz_path = "/tmp/optrt_distributed_build_tz.ort";

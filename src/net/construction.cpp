@@ -1,104 +1,1215 @@
 #include "net/construction.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <random>
+#include <set>
+#include <utility>
 
+#include "bitio/bit_stream.hpp"
 #include "bitio/codes.hpp"
+#include "core/parallel.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "schemes/errors.hpp"
 
 namespace optrt::net {
 
+namespace {
+
+using congest::Context;
+using congest::Message;
+using congest::Received;
+using graph::NodeId;
+using graph::PortId;
+
+// Message types, shared across the three protocols (each run uses one
+// protocol, but distinct tags keep cross-phase strays detectable).
+constexpr std::uint16_t kMsgNeighbors = 1;
+constexpr std::uint16_t kMsgFtFlood = 2;
+constexpr std::uint16_t kMsgFtAudit = 3;
+constexpr std::uint16_t kMsgTzTree = 10;
+constexpr std::uint16_t kMsgTzClaim = 11;
+constexpr std::uint16_t kMsgTzSum = 12;
+constexpr std::uint16_t kMsgTzTotal = 13;
+constexpr std::uint16_t kMsgTzLm = 14;
+constexpr std::uint16_t kMsgTzAnn = 15;
+constexpr std::uint16_t kMsgTzVeto = 16;
+constexpr std::uint16_t kMsgTzReg = 17;
+constexpr std::uint16_t kMsgTzAudit = 18;
+
+/// Sticky per-node failure flag; merge keeps the most severe.
+struct NodeFlag {
+  ConstructStatus status = ConstructStatus::kOk;
+  std::string detail;
+
+  void raise(ConstructStatus s, const char* what) {
+    if (static_cast<int>(s) > static_cast<int>(status)) {
+      status = s;
+      detail = what;
+    }
+  }
+};
+
+/// Folds per-node flags into one report (worst status wins; the detail
+/// names the least node that raised it — deterministic).
+template <typename Nodes>
+void merge_flags(const Nodes& nodes, ConstructStatus& status,
+                 std::string& detail) {
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    const NodeFlag& f = nodes[v]->flag();
+    if (static_cast<int>(f.status) > static_cast<int>(status)) {
+      status = f.status;
+      detail = "node " + std::to_string(v) + ": " + f.detail;
+    }
+  }
+}
+
+// --- Theorem 1 compact tables: one neighbour-exchange round ---------------
+
+class CompactNode final : public congest::ProtocolNode {
+ public:
+  explicit CompactNode(unsigned id_width) : id_width_(id_width) {}
+
+  void on_start(Context& ctx) override {
+    ctx.label_phase("compact.exchange");
+    Message m;
+    m.type = kMsgNeighbors;
+    const auto d = static_cast<PortId>(ctx.degree());
+    m.bits = static_cast<std::uint32_t>(d * id_width_);
+    m.words.reserve(d);
+    for (PortId p = 0; p < d; ++p) m.words.push_back(ctx.neighbor(p));
+    ctx.send_all(m);
+  }
+
+  void on_round(Context& ctx, std::span<const Received> inbox) override {
+    for (const Received& r : inbox) {
+      if (r.msg.type != kMsgNeighbors) {
+        flag_.raise(ConstructStatus::kInconsistent, "unexpected message");
+        continue;
+      }
+      lists_.emplace_back(ctx.neighbor(r.port), r.msg.words);
+    }
+  }
+
+  [[nodiscard]] const NodeFlag& flag() const { return flag_; }
+
+  /// (neighbour id, its reported neighbour list), ascending by sender.
+  std::vector<std::pair<NodeId, std::vector<std::uint32_t>>> lists_;
+
+ private:
+  unsigned id_width_;
+  NodeFlag flag_;
+};
+
+void account(const char* proto, const congest::RunStats& stats,
+             ConstructStatus status) {
+  const std::string base = std::string("construction.") + proto;
+  obs::counter(base + ".builds").inc();
+  obs::counter(base + ".rounds").inc(stats.rounds);
+  obs::counter(base + ".messages").inc(stats.messages);
+  obs::counter(base + ".message_bits").inc(stats.message_bits);
+  if (status != ConstructStatus::kOk) {
+    obs::counter(base + ".failures").inc();
+  }
+}
+
+}  // namespace
+
+const char* to_string(ConstructStatus status) noexcept {
+  switch (status) {
+    case ConstructStatus::kOk:
+      return "ok";
+    case ConstructStatus::kInapplicable:
+      return "inapplicable";
+    case ConstructStatus::kIncompleteInfo:
+      return "incomplete-info";
+    case ConstructStatus::kInconsistent:
+      return "inconsistent";
+    case ConstructStatus::kTopologyChanged:
+      return "topology-changed";
+    case ConstructStatus::kInvalidTables:
+      return "invalid-tables";
+    case ConstructStatus::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
 ConstructionResult distributed_compact_construction(
-    const graph::Graph& g, const schemes::CompactNodeOptions& options) {
+    const graph::Graph& g, const schemes::CompactNodeOptions& options,
+    const ProtocolOptions& protocol) {
   const std::size_t n = g.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
 
+  std::vector<std::unique_ptr<CompactNode>> nodes;
+  nodes.reserve(n);
+  std::vector<congest::ProtocolNode*> ptrs;
+  ptrs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<CompactNode>(id_width));
+    ptrs.push_back(nodes.back().get());
+  }
+
+  congest::EngineOptions eng_opt;
+  eng_opt.threads = protocol.threads;
+  eng_opt.max_rounds = protocol.max_rounds;
+  congest::Engine engine(g, eng_opt);
+  if (protocol.faults != nullptr) engine.schedule(*protocol.faults);
+  const auto run = engine.run(ptrs);
+
   ConstructionResult result;
-  result.node_tables.resize(n);
-
-  // Round 1: every node v sends its neighbour list over every incident
-  // edge. We account for the traffic and materialize, per receiver, the
-  // local 2-hop view the messages add up to.
-  for (graph::NodeId v = 0; v < n; ++v) {
-    const std::size_t d = g.degree(v);
-    result.messages += d;
-    result.message_bits +=
-        static_cast<std::uint64_t>(d) * d * id_width;  // d messages × d ids
+  result.rounds = run.rounds;
+  result.messages = run.messages;
+  result.message_bits = run.message_bits;
+  result.dropped = run.dropped;
+  result.phase_stats = run.phase_stats;
+  if (run.status != congest::RunStatus::kOk) {
+    result.status = ConstructStatus::kStalled;
+    result.detail = to_string(run.status);
+    account("compact", run, result.status);
+    return result;
   }
+  merge_flags(nodes, result.status, result.detail);
 
-  for (graph::NodeId u = 0; u < n; ++u) {
-    // u's local view after the exchange: its own edges plus every edge
-    // {v, w} reported by a neighbour v. (Edges between two neighbours are
-    // reported twice; insert once.)
-    graph::Graph view(n);
-    for (graph::NodeId v : g.neighbors(u)) view.add_edge(u, v);
-    for (graph::NodeId v : g.neighbors(u)) {
-      for (graph::NodeId w : g.neighbors(v)) {
-        if (w != u && !view.has_edge(v, w)) view.add_edge(v, w);
-      }
+  // Local completeness: a node knows its neighbour set, so a dropped list
+  // is locally detectable.
+  for (NodeId u = 0; u < n && result.status == ConstructStatus::kOk; ++u) {
+    if (nodes[u]->lists_.size() != g.degree(u)) {
+      result.status = ConstructStatus::kIncompleteInfo;
+      result.detail =
+          "node " + std::to_string(u) + ": neighbour list lost to a fault";
     }
-    // The Theorem 1 builder only inspects edges incident to u and to u's
-    // neighbours — all present in the view — so this is bit-identical to
-    // the centralized construction.
-    result.node_tables[u] =
-        schemes::build_compact_node(view, u, options).bits;
   }
+  if (result.status != ConstructStatus::kOk) {
+    account("compact", run, result.status);
+    return result;
+  }
+
+  // Every node now builds its table from its exact 2-hop view. This is
+  // pure local computation; parallelizing it is outside the CONGEST cost
+  // model and deterministic (index-ordered merge).
+  struct Built {
+    bitio::BitVector bits;
+    std::string error;
+    bool ok = false;
+  };
+  auto built = core::parallel_map<Built>(
+      protocol.threads, n, [&](std::size_t u) {
+        Built b;
+        graph::Graph view(n);
+        for (NodeId v : g.neighbors(static_cast<NodeId>(u))) {
+          view.add_edge(static_cast<NodeId>(u), v);
+        }
+        for (const auto& [v, list] : nodes[u]->lists_) {
+          for (const std::uint32_t w : list) {
+            if (w != u && !view.has_edge(v, static_cast<NodeId>(w))) {
+              view.add_edge(v, static_cast<NodeId>(w));
+            }
+          }
+        }
+        try {
+          b.bits = schemes::build_compact_node(view, static_cast<NodeId>(u),
+                                               options)
+                       .bits;
+          b.ok = true;
+        } catch (const schemes::SchemeInapplicable& e) {
+          b.error = e.what();
+        }
+        return b;
+      });
+  result.node_tables.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!built[u].ok) {
+      if (protocol.faults == nullptr) {
+        account("compact", run, ConstructStatus::kInapplicable);
+        throw schemes::SchemeInapplicable(built[u].error);
+      }
+      result.status = ConstructStatus::kInapplicable;
+      result.detail = "node " + std::to_string(u) + ": " + built[u].error;
+      result.node_tables.clear();
+      account("compact", run, result.status);
+      return result;
+    }
+    result.node_tables[u] = std::move(built[u].bits);
+  }
+  account("compact", run, result.status);
   return result;
 }
 
-TzConstructionResult distributed_tz_construction(
-    const graph::Graph& g, const schemes::TzOptions& options) {
+// --- Full-table oracle protocol: n simultaneous BFS floods ----------------
+
+namespace {
+
+class FullTableNode final : public congest::ProtocolNode {
+ public:
+  FullTableNode(std::size_t n, unsigned id_width, unsigned cnt_width)
+      : n_(n), id_width_(id_width), cnt_width_(cnt_width) {}
+
+  void on_start(Context& ctx) override {
+    ctx.label_phase("full.flood");
+    dist_.assign(n_, graph::kUnreachable);
+    port_.assign(n_, 0);
+    dist_[ctx.id()] = 0;
+    Message m;
+    m.type = kMsgFtFlood;
+    m.bits = id_width_;
+    m.words = {ctx.id(), 1};
+    ctx.send_all(m);
+  }
+
+  void on_round(Context& ctx, std::span<const Received> inbox) override {
+    if (state_ == St::kFlood) {
+      // First receptions only; within the round take the least hop, then
+      // the least arrival port (= least sender id: ports are sorted).
+      std::map<NodeId, std::pair<std::uint32_t, PortId>> stage;
+      for (const Received& r : inbox) {
+        if (r.msg.type != kMsgFtFlood) {
+          flag_.raise(ConstructStatus::kInconsistent, "unexpected message");
+          continue;
+        }
+        const NodeId v = r.msg.words[0];
+        const std::uint32_t h = r.msg.words[1];
+        if (dist_[v] != graph::kUnreachable) continue;
+        auto [it, fresh] = stage.try_emplace(v, h, r.port);
+        if (!fresh && (h < it->second.first ||
+                       (h == it->second.first && r.port < it->second.second))) {
+          it->second = {h, r.port};
+        }
+      }
+      for (const auto& [v, hp] : stage) {
+        dist_[v] = hp.first;
+        port_[v] = hp.second;
+        Message fwd;
+        fwd.type = kMsgFtFlood;
+        fwd.bits = id_width_;
+        fwd.words = {v, hp.first + 1};
+        ctx.send_all(fwd);
+      }
+      return;
+    }
+    // Audit round: distance vectors from every live neighbour.
+    for (const Received& r : inbox) {
+      if (r.msg.type != kMsgFtAudit) {
+        flag_.raise(ConstructStatus::kInconsistent, "unexpected message");
+        continue;
+      }
+      ++audit_msgs_;
+      std::size_t i = 0;
+      const std::size_t count = r.msg.words[i++];
+      for (std::size_t k = 0; k < count; ++k) {
+        const NodeId v = r.msg.words[i++];
+        const std::uint32_t d_they = r.msg.words[i++];
+        const std::uint32_t d_mine = dist_[v];
+        if (d_mine == graph::kUnreachable) {
+          // They reached v; a connected component is all-or-nothing, so a
+          // missing entry here means a flood was lost, not disconnection.
+          flag_.raise(ConstructStatus::kInconsistent,
+                      "flood entry missing at a neighbour of its holder");
+        } else if ((d_they > d_mine ? d_they - d_mine : d_mine - d_they) >
+                   1) {
+          flag_.raise(ConstructStatus::kInconsistent,
+                      "distance Lipschitz violation");
+        }
+      }
+    }
+  }
+
+  bool on_phase_end(Context& ctx) override {
+    if (state_ == St::kFlood) {
+      state_ = St::kAudit;
+      ctx.label_phase("full.audit");
+      const auto d = static_cast<PortId>(ctx.degree());
+      for (PortId p = 0; p < d; ++p) {
+        if (!ctx.port_up(p)) {
+          flag_.raise(ConstructStatus::kTopologyChanged,
+                      "incident link down at audit");
+        }
+      }
+      Message m;
+      m.type = kMsgFtAudit;
+      std::uint32_t count = 0;
+      m.words.push_back(0);  // patched below
+      for (NodeId v = 0; v < n_; ++v) {
+        if (dist_[v] == graph::kUnreachable) continue;
+        m.words.push_back(v);
+        m.words.push_back(dist_[v]);
+        ++count;
+      }
+      m.words[0] = count;
+      m.bits = cnt_width_ + count * (id_width_ + cnt_width_);
+      ctx.send_all(m);
+      return true;
+    }
+    if (state_ == St::kAudit) {
+      if (audit_msgs_ != ctx.degree()) {
+        flag_.raise(ConstructStatus::kTopologyChanged, "audit message lost");
+      }
+      state_ = St::kDone;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const NodeFlag& flag() const { return flag_; }
+
+  std::vector<std::uint32_t> dist_;
+  std::vector<PortId> port_;
+
+ private:
+  enum class St : std::uint8_t { kFlood, kAudit, kDone };
+  std::size_t n_;
+  unsigned id_width_;
+  unsigned cnt_width_;
+  St state_ = St::kFlood;
+  std::size_t audit_msgs_ = 0;
+  NodeFlag flag_;
+};
+
+}  // namespace
+
+FullTableConstructionResult distributed_full_table_construction(
+    const graph::Graph& g, const ProtocolOptions& protocol) {
   const std::size_t n = g.node_count();
   const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  const unsigned cnt_width = bitio::ceil_log2_plus1(n);
+
+  std::vector<std::unique_ptr<FullTableNode>> nodes;
+  nodes.reserve(n);
+  std::vector<congest::ProtocolNode*> ptrs;
+  ptrs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<FullTableNode>(n, id_width, cnt_width));
+    ptrs.push_back(nodes.back().get());
+  }
+
+  congest::EngineOptions eng_opt;
+  eng_opt.threads = protocol.threads;
+  eng_opt.max_rounds = protocol.max_rounds;
+  congest::Engine engine(g, eng_opt);
+  if (protocol.faults != nullptr) engine.schedule(*protocol.faults);
+  const auto run = engine.run(ptrs);
+
+  FullTableConstructionResult result;
+  result.rounds = run.rounds;
+  result.messages = run.messages;
+  result.message_bits = run.message_bits;
+  result.dropped = run.dropped;
+  result.phase_stats = run.phase_stats;
+  if (run.status != congest::RunStatus::kOk) {
+    result.status = ConstructStatus::kStalled;
+    result.detail = to_string(run.status);
+    account("full_table", run, result.status);
+    return result;
+  }
+  merge_flags(nodes, result.status, result.detail);
+  if (result.status != ConstructStatus::kOk) {
+    account("full_table", run, result.status);
+    return result;
+  }
+
+  result.node_tables.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const unsigned width =
+        bitio::ceil_log2(std::max<std::size_t>(g.degree(u), 1));
+    bitio::BitWriter w;
+    for (NodeId v = 0; v < n; ++v) {
+      const bool self_or_unreachable =
+          v == u || nodes[u]->dist_[v] == graph::kUnreachable;
+      w.write_bits(self_or_unreachable ? 0 : nodes[u]->port_[v], width);
+    }
+    result.node_tables[u] = w.take();
+  }
+  account("full_table", run, result.status);
+  return result;
+}
+
+// --- Thorup-Zwick k = 2: election, floods, announcements, audit -----------
+
+namespace {
+
+/// Common knowledge every TzNode derives from (n, seed) alone — each node
+/// conceptually replays the shared-seed PRNG stream locally and keeps the
+/// draws addressed to it (draw a·n + v belongs to node v at attempt a).
+struct TzShared {
+  std::size_t n = 0;
+  unsigned id_width = 0;
+  unsigned cnt_width = 0;  // also the distance/count charge width
+  std::size_t cap = 0;
+  std::size_t max_attempts = 0;
+  double p = 1.0;
+  std::vector<double> uniforms;  // max_attempts · n draws of Rng(seed)
+};
+
+class TzNode final : public congest::ProtocolNode {
+ public:
+  enum class St : std::uint8_t {
+    kTreeFlood,
+    kTreeClaim,
+    kTreeSum,
+    kFlood,
+    kAnnounce,
+    kVeto,
+    kRegister,
+    kAudit,
+    kDone,
+  };
+
+  TzNode(const TzShared* shared, NodeId id, std::size_t degree)
+      : shared_(shared), id_(id), degree_(degree) {}
+
+  void on_start(Context& ctx) override {
+    ctx.label_phase("tz.tree");
+    if (id_ == 0) {
+      depth_ = 0;
+      Message m;
+      m.type = kMsgTzTree;
+      m.bits = shared_->cnt_width;
+      m.words = {token(), 1};
+      ctx.send_all(m);
+    }
+  }
+
+  void on_round(Context& ctx, std::span<const Received> inbox) override {
+    switch (state_) {
+      case St::kTreeFlood:
+        round_tree(ctx, inbox);
+        break;
+      case St::kTreeClaim:
+        round_claim(ctx, inbox);
+        break;
+      case St::kTreeSum:
+        round_sum(ctx, inbox);
+        break;
+      case St::kFlood:
+        round_flood(ctx, inbox);
+        break;
+      case St::kAnnounce:
+        round_announce(ctx, inbox);
+        break;
+      case St::kVeto:
+        round_veto(ctx, inbox);
+        break;
+      case St::kRegister:
+        round_register(ctx, inbox);
+        break;
+      case St::kAudit:
+        round_audit(ctx, inbox);
+        break;
+      case St::kDone:
+        flag_.raise(ConstructStatus::kInconsistent, "message after done");
+        break;
+    }
+  }
+
+  bool on_phase_end(Context& ctx) override {
+    switch (state_) {
+      case St::kTreeFlood:
+        state_ = St::kTreeClaim;
+        ctx.label_phase("tz.tree.claim");
+        if (parent_port_ >= 0) {
+          Message m;
+          m.type = kMsgTzClaim;
+          m.bits = 0;  // payload-free: presence is the claim
+          m.words = {token()};
+          ctx.send(static_cast<PortId>(parent_port_), std::move(m));
+        }
+        return true;
+      case St::kTreeClaim:
+        state_ = St::kTreeSum;
+        ctx.label_phase("tz.tree.sum");
+        pending_ = children_.size();
+        if (pending_ == 0) complete_subtree(ctx);
+        return true;
+      case St::kTreeSum:
+        passive_ = !have_total_;
+        if (passive_) {
+          flag_.raise(ConstructStatus::kIncompleteInfo,
+                      "degree aggregation never arrived");
+        }
+        avg_degree_ = have_total_ ? static_cast<double>(total_) /
+                                        static_cast<double>(shared_->n)
+                                  : 0.0;
+        start_attempt(ctx);
+        return true;
+      case St::kFlood:
+        return pulse_flood(ctx);
+      case St::kAnnounce:
+        return pulse_announce(ctx);
+      case St::kVeto:
+        return pulse_veto(ctx);
+      case St::kRegister:
+        enter_audit(ctx);
+        return true;
+      case St::kAudit:
+        if (audit_msgs_ != degree_) {
+          flag_.raise(ConstructStatus::kTopologyChanged,
+                      "audit message lost");
+        }
+        state_ = St::kDone;
+        return false;
+      case St::kDone:
+        return false;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const NodeFlag& flag() const { return flag_; }
+
+  struct LmEntry {
+    std::uint32_t dist = 0;
+    PortId least_port = 0;
+    std::vector<PortId> parents;  // every first-reception sender
+  };
+  struct AnnEntry {
+    std::uint32_t h = 0;
+    std::uint32_t dva = 0;
+    PortId port = 0;
+    bool in_cluster = false;
+  };
+
+  std::map<NodeId, LmEntry> lm_;
+  std::map<NodeId, AnnEntry> ann_;
+  std::map<NodeId, PortId> exit_learned_;  // populated at landmarks
+  std::uint32_t dva_ = 0;
+  NodeId l_of_ = 0;
+  std::size_t attempt_ = 0;
+
+ private:
+  [[nodiscard]] std::uint32_t token() const {
+    return (static_cast<std::uint32_t>(state_) << 16) |
+           static_cast<std::uint32_t>(attempt_ & 0xffff);
+  }
+
+  /// Every TZ message leads with the sender's (state, attempt) token; a
+  /// mismatch means the network desynchronized the lockstep phases (only
+  /// possible under faults) — sticky-flag it and ignore the message.
+  [[nodiscard]] bool tagged(const Received& r, std::uint16_t type) {
+    if (r.msg.type != type || r.msg.words.empty() ||
+        r.msg.words[0] != token()) {
+      flag_.raise(ConstructStatus::kInconsistent, "phase desync");
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool coin(std::size_t attempt) const {
+    if (passive_) return false;
+    const double u = shared_->uniforms[attempt * shared_->n + id_];
+    double p_node = shared_->p;
+    if (avg_degree_ > 0.0) {
+      p_node = std::min(
+          1.0, shared_->p * static_cast<double>(degree_) / avg_degree_);
+    }
+    return u < p_node;
+  }
+
+  void round_tree(Context& ctx, std::span<const Received> inbox) {
+    if (depth_ != graph::kUnreachable) return;  // already joined
+    std::uint32_t best_h = graph::kUnreachable;
+    int best_port = -1;
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzTree)) continue;
+      const std::uint32_t h = r.msg.words[1];
+      if (h < best_h || (h == best_h && static_cast<int>(r.port) < best_port)) {
+        best_h = h;
+        best_port = static_cast<int>(r.port);
+      }
+    }
+    if (best_port < 0) return;
+    depth_ = best_h;
+    parent_port_ = best_port;
+    Message m;
+    m.type = kMsgTzTree;
+    m.bits = shared_->cnt_width;
+    m.words = {token(), depth_ + 1};
+    ctx.send_all(m);
+  }
+
+  void round_claim(Context&, std::span<const Received> inbox) {
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzClaim)) continue;
+      children_.push_back(r.port);
+    }
+  }
+
+  void complete_subtree(Context& ctx) {
+    const std::uint64_t subtotal = acc_ + degree_;
+    if (id_ == 0) {
+      total_ = subtotal;
+      have_total_ = true;
+      broadcast_total(ctx);
+    } else if (parent_port_ >= 0) {
+      Message m;
+      m.type = kMsgTzSum;
+      m.bits = 2 * shared_->cnt_width;
+      m.words = {token(), static_cast<std::uint32_t>(subtotal)};
+      ctx.send(static_cast<PortId>(parent_port_), std::move(m));
+    }
+  }
+
+  void broadcast_total(Context& ctx) {
+    Message m;
+    m.type = kMsgTzTotal;
+    m.bits = 2 * shared_->cnt_width;
+    m.words = {token(), static_cast<std::uint32_t>(total_)};
+    for (const PortId p : children_) {
+      Message copy = m;
+      ctx.send(p, std::move(copy));
+    }
+  }
+
+  void round_sum(Context& ctx, std::span<const Received> inbox) {
+    for (const Received& r : inbox) {
+      if (r.msg.type == kMsgTzSum) {
+        if (!tagged(r, kMsgTzSum)) continue;
+        acc_ += r.msg.words[1];
+        if (pending_ > 0 && --pending_ == 0) complete_subtree(ctx);
+      } else if (r.msg.type == kMsgTzTotal) {
+        if (!tagged(r, kMsgTzTotal)) continue;
+        if (have_total_) continue;
+        total_ = r.msg.words[1];
+        have_total_ = true;
+        broadcast_total(ctx);
+      } else {
+        flag_.raise(ConstructStatus::kInconsistent, "unexpected message");
+      }
+    }
+  }
+
+  void start_attempt(Context& ctx) {
+    lm_.clear();
+    ann_.clear();
+    veto_seen_.clear();
+    veto_max_ = 0;
+    veto_any_ = false;
+    state_ = St::kFlood;
+    ctx.label_phase(degenerate_ ? "tz.flood degenerate"
+                                : "tz.flood a" + std::to_string(attempt_));
+    lm_self_ = degenerate_ ? id_ == 0 : coin(attempt_);
+    if (lm_self_) {
+      lm_.emplace(id_, LmEntry{0, 0, {}});
+      Message m;
+      m.type = kMsgTzLm;
+      m.bits = shared_->id_width;
+      m.words = {token(), id_, 1};
+      ctx.send_all(m);
+    }
+  }
+
+  void round_flood(Context& ctx, std::span<const Received> inbox) {
+    // Stage per landmark: least hop this round, every sender at that hop
+    // (the BFS parents), least port.
+    struct Stage {
+      std::uint32_t h = graph::kUnreachable;
+      std::vector<PortId> parents;
+    };
+    std::map<NodeId, Stage> stage;
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzLm)) continue;
+      const NodeId l = r.msg.words[1];
+      const std::uint32_t h = r.msg.words[2];
+      if (lm_.count(l) != 0) continue;
+      Stage& s = stage[l];
+      if (h < s.h) {
+        s.h = h;
+        s.parents.clear();
+      }
+      if (h == s.h) s.parents.push_back(r.port);
+    }
+    for (auto& [l, s] : stage) {
+      LmEntry e;
+      e.dist = s.h;
+      e.parents = std::move(s.parents);
+      e.least_port = *std::min_element(e.parents.begin(), e.parents.end());
+      lm_.emplace(l, std::move(e));
+      Message fwd;
+      fwd.type = kMsgTzLm;
+      fwd.bits = shared_->id_width;
+      fwd.words = {token(), l, s.h + 1};
+      ctx.send_all(fwd);
+    }
+  }
+
+  bool pulse_flood(Context& ctx) {
+    if (lm_.empty()) return rejected_attempt(ctx);  // empty sample
+    dva_ = graph::kUnreachable;
+    for (const auto& [l, e] : lm_) {
+      if (e.dist < dva_) {
+        dva_ = e.dist;
+        l_of_ = l;  // ascending map order = least id on ties
+      }
+    }
+    state_ = St::kAnnounce;
+    ctx.label_phase(degenerate_ ? "tz.announce degenerate"
+                                : "tz.announce a" + std::to_string(attempt_));
+    if (dva_ >= 1) {
+      Message m;
+      m.type = kMsgTzAnn;
+      m.bits = shared_->id_width + shared_->cnt_width;
+      m.words = {token(), id_, dva_, 1};
+      ctx.send_all(m);
+    }
+    return true;
+  }
+
+  void round_announce(Context& ctx, std::span<const Received> inbox) {
+    struct Stage {
+      std::uint32_t h = graph::kUnreachable;
+      std::uint32_t dva = 0;
+      PortId port = 0;
+    };
+    std::map<NodeId, Stage> stage;
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzAnn)) continue;
+      const NodeId v = r.msg.words[1];
+      if (v == id_ || ann_.count(v) != 0) continue;
+      const std::uint32_t dva = r.msg.words[2];
+      const std::uint32_t h = r.msg.words[3];
+      Stage& s = stage[v];
+      if (h < s.h || (h == s.h && r.port < s.port)) {
+        s = Stage{h, dva, r.port};
+      }
+    }
+    for (const auto& [v, s] : stage) {
+      AnnEntry e;
+      e.h = s.h;
+      e.dva = s.dva;
+      e.port = s.port;
+      e.in_cluster = s.h < s.dva;
+      ann_.emplace(v, e);
+      if (s.h < s.dva) {  // interior of v's strict ball: keep flooding
+        Message fwd;
+        fwd.type = kMsgTzAnn;
+        fwd.bits = shared_->id_width + shared_->cnt_width;
+        fwd.words = {token(), v, s.dva, s.h + 1};
+        ctx.send_all(fwd);
+      }
+    }
+  }
+
+  bool pulse_announce(Context& ctx) {
+    if (degenerate_) return accept_attempt(ctx);  // fallback skips the cap
+    std::size_t cluster = 0;
+    for (const auto& [v, e] : ann_) cluster += e.in_cluster ? 1 : 0;
+    state_ = St::kVeto;
+    ctx.label_phase("tz.veto a" + std::to_string(attempt_));
+    if (cluster > shared_->cap) {
+      veto_any_ = true;
+      veto_max_ = std::max(veto_max_, cluster);
+      veto_seen_.insert(id_);
+      Message m;
+      m.type = kMsgTzVeto;
+      m.bits = shared_->id_width + shared_->cnt_width;
+      m.words = {token(), id_, static_cast<std::uint32_t>(cluster)};
+      ctx.send_all(m);
+    }
+    return true;
+  }
+
+  void round_veto(Context& ctx, std::span<const Received> inbox) {
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzVeto)) continue;
+      const NodeId origin = r.msg.words[1];
+      veto_any_ = true;
+      veto_max_ = std::max<std::size_t>(veto_max_, r.msg.words[2]);
+      if (veto_seen_.insert(origin).second) {
+        Message fwd = r.msg;
+        ctx.send_all(fwd);
+      }
+    }
+  }
+
+  bool pulse_veto(Context& ctx) {
+    if (!veto_any_) return accept_attempt(ctx);
+    // Rejected: remember the best (least global max cluster) sample seen,
+    // exactly like the centralized resample loop.
+    if (veto_max_ < best_max_) {
+      best_max_ = veto_max_;
+      best_attempt_ = attempt_;
+      best_lm_ = lm_;
+      best_ann_ = ann_;
+      best_lm_self_ = lm_self_;
+      have_best_ = true;
+    }
+    return rejected_attempt(ctx);
+  }
+
+  bool rejected_attempt(Context& ctx) {
+    ++attempt_;
+    if (attempt_ < shared_->max_attempts) {
+      start_attempt(ctx);
+      return true;
+    }
+    if (have_best_) {
+      lm_ = std::move(best_lm_);
+      ann_ = std::move(best_ann_);
+      lm_self_ = best_lm_self_;
+      dva_ = graph::kUnreachable;
+      for (const auto& [l, e] : lm_) {
+        if (e.dist < dva_) {
+          dva_ = e.dist;
+          l_of_ = l;
+        }
+      }
+      attempt_ = shared_->max_attempts + best_attempt_;  // shared token
+      return enter_register(ctx);
+    }
+    // Every attempt sampled empty: the centralized fallback declares node
+    // 0 the sole landmark; run one more (cap-exempt) flood for it.
+    degenerate_ = true;
+    start_attempt(ctx);
+    return true;
+  }
+
+  bool accept_attempt(Context& ctx) { return enter_register(ctx); }
+
+  bool enter_register(Context& ctx) {
+    state_ = St::kRegister;
+    ctx.label_phase("tz.register");
+    if (dva_ >= 1 && dva_ != graph::kUnreachable) {
+      const auto it = lm_.find(l_of_);
+      if (it == lm_.end()) {
+        flag_.raise(ConstructStatus::kIncompleteInfo, "no landmark heard");
+        return true;
+      }
+      Message m;
+      m.type = kMsgTzReg;
+      m.bits = 2 * shared_->id_width;
+      m.words = {token(), id_, l_of_};
+      for (const PortId p : it->second.parents) {
+        Message copy = m;
+        ctx.send(p, std::move(copy));
+      }
+    }
+    return true;
+  }
+
+  void round_register(Context& ctx, std::span<const Received> inbox) {
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzReg)) continue;
+      const NodeId v = r.msg.words[1];
+      const NodeId l = r.msg.words[2];
+      if (l == id_) {
+        // All shortest-path successors toward v report in the same round;
+        // keep the least port = least id.
+        const auto [it, fresh] = exit_learned_.try_emplace(v, r.port);
+        if (!fresh && r.port < it->second) it->second = r.port;
+        continue;
+      }
+      if (!reg_seen_.insert(v).second) continue;
+      const auto it = lm_.find(l);
+      if (it == lm_.end()) {
+        flag_.raise(ConstructStatus::kInconsistent,
+                    "registration for an unknown landmark");
+        continue;
+      }
+      Message m;
+      m.type = kMsgTzReg;
+      m.bits = 2 * shared_->id_width;
+      m.words = {token(), v, l};
+      for (const PortId p : it->second.parents) {
+        Message copy = m;
+        ctx.send(p, std::move(copy));
+      }
+    }
+  }
+
+  void enter_audit(Context& ctx) {
+    state_ = St::kAudit;
+    ctx.label_phase("tz.audit");
+    const auto d = static_cast<PortId>(degree_);
+    for (PortId p = 0; p < d; ++p) {
+      if (!ctx.port_up(p)) {
+        flag_.raise(ConstructStatus::kTopologyChanged,
+                    "incident link down at audit");
+      }
+    }
+    Message m;
+    m.type = kMsgTzAudit;
+    m.words.push_back(token());
+    m.words.push_back(static_cast<std::uint32_t>(lm_.size()));
+    for (const auto& [l, e] : lm_) {
+      m.words.push_back(l);
+      m.words.push_back(e.dist);
+    }
+    // Cluster entries (v, d̂(v), d(v, A)) plus a self entry — the seed of
+    // the neighbour-by-neighbour completeness induction.
+    std::vector<std::array<std::uint32_t, 3>> entries;
+    for (const auto& [v, e] : ann_) {
+      if (e.in_cluster) entries.push_back({v, e.h, e.dva});
+    }
+    if (dva_ >= 1 && dva_ != graph::kUnreachable) {
+      entries.push_back({id_, 0, dva_});
+      std::sort(entries.begin(), entries.end());
+    }
+    m.words.push_back(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      m.words.insert(m.words.end(), e.begin(), e.end());
+    }
+    m.bits = 2 * shared_->cnt_width +
+             static_cast<std::uint32_t>(lm_.size()) *
+                 (shared_->id_width + shared_->cnt_width) +
+             static_cast<std::uint32_t>(entries.size()) *
+                 (shared_->id_width + 2 * shared_->cnt_width);
+    ctx.send_all(m);
+  }
+
+  void round_audit(Context&, std::span<const Received> inbox) {
+    for (const Received& r : inbox) {
+      if (!tagged(r, kMsgTzAudit)) continue;
+      ++audit_msgs_;
+      std::size_t i = 1;
+      const std::size_t lm_count = r.msg.words[i++];
+      if (lm_count != lm_.size()) {
+        flag_.raise(ConstructStatus::kInconsistent,
+                    "landmark sets disagree across a link");
+        continue;
+      }
+      auto mine = lm_.begin();
+      bool ok = true;
+      for (std::size_t k = 0; k < lm_count; ++k, ++mine) {
+        const NodeId l = r.msg.words[i++];
+        const std::uint32_t d_they = r.msg.words[i++];
+        if (mine->first != l) {
+          ok = false;
+          break;
+        }
+        const std::uint32_t d_mine = mine->second.dist;
+        if ((d_they > d_mine ? d_they - d_mine : d_mine - d_they) > 1) {
+          flag_.raise(ConstructStatus::kInconsistent,
+                      "landmark distance Lipschitz violation");
+        }
+      }
+      if (!ok) {
+        flag_.raise(ConstructStatus::kInconsistent,
+                    "landmark sets disagree across a link");
+        continue;
+      }
+      const std::size_t entries = r.msg.words[i++];
+      for (std::size_t k = 0; k < entries; ++k) {
+        const NodeId v = r.msg.words[i++];
+        const std::uint32_t h_they = r.msg.words[i++];
+        const std::uint32_t dva_v = r.msg.words[i++];
+        if (v == id_) {
+          if (h_they > 1 || dva_v != dva_) {
+            flag_.raise(ConstructStatus::kInconsistent,
+                        "neighbour view of this node is off");
+          }
+          continue;
+        }
+        const auto it = ann_.find(v);
+        if (it == ann_.end()) {
+          if (h_they + 1 < dva_v) {
+            flag_.raise(ConstructStatus::kInconsistent,
+                        "cluster completeness violation");
+          }
+          continue;
+        }
+        const std::uint32_t h_mine = it->second.h;
+        if ((h_they > h_mine ? h_they - h_mine : h_mine - h_they) > 1 ||
+            it->second.dva != dva_v) {
+          flag_.raise(ConstructStatus::kInconsistent,
+                      "ball distance Lipschitz violation");
+        }
+      }
+    }
+  }
+
+  const TzShared* shared_;
+  NodeId id_;
+  std::size_t degree_;
+  St state_ = St::kTreeFlood;
+  NodeFlag flag_;
+
+  // Tree phase.
+  std::uint32_t depth_ = graph::kUnreachable;
+  int parent_port_ = -1;
+  std::vector<PortId> children_;
+  std::size_t pending_ = 0;
+  std::uint64_t acc_ = 0;
+  std::uint64_t total_ = 0;
+  bool have_total_ = false;
+  bool passive_ = false;
+  double avg_degree_ = 0.0;
+
+  // Election.
+  bool lm_self_ = false;
+  bool degenerate_ = false;
+  std::set<NodeId> veto_seen_;
+  std::size_t veto_max_ = 0;
+  bool veto_any_ = false;
+  bool have_best_ = false;
+  std::size_t best_attempt_ = 0;
+  std::size_t best_max_ = std::numeric_limits<std::size_t>::max();
+  std::map<NodeId, LmEntry> best_lm_;
+  std::map<NodeId, AnnEntry> best_ann_;
+  bool best_lm_self_ = false;
+
+  // Registration / audit.
+  std::set<NodeId> reg_seen_;
+  std::size_t audit_msgs_ = 0;
+};
+
+/// Sum of `rounds` over phase rows whose label starts with `prefix`.
+std::size_t rounds_for(const std::vector<congest::PhaseStats>& rows,
+                       const std::string& prefix) {
+  std::size_t total = 0;
+  for (const auto& row : rows) {
+    if (row.label.rfind(prefix, 0) == 0) total += row.rounds;
+  }
+  return total;
+}
+
+}  // namespace
+
+TzConstructionResult distributed_tz_construction(
+    const graph::Graph& g, const schemes::TzOptions& options,
+    const ProtocolOptions& protocol) {
+  const std::size_t n = g.node_count();
+  if (!graph::is_connected(g)) {
+    throw schemes::SchemeInapplicable("tz: graph disconnected");
+  }
+
+  TzShared shared;
+  shared.n = n;
+  shared.id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  shared.cnt_width = bitio::ceil_log2_plus1(n);
+  shared.cap = schemes::TzScheme::cluster_cap(n);
+  shared.max_attempts = std::max<std::size_t>(options.max_resamples, 1);
+  shared.p = n >= 2 ? std::min(1.0, std::sqrt(std::log(static_cast<double>(
+                                                  n)) /
+                                              static_cast<double>(n)))
+                    : 1.0;
+  // The exact stream the centralized sampler consumes: n draws per
+  // attempt, in node order, from one mt19937_64(seed).
+  graph::Rng rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  shared.uniforms.reserve(shared.max_attempts * n);
+  for (std::size_t i = 0; i < shared.max_attempts * n; ++i) {
+    shared.uniforms.push_back(unit(rng));
+  }
+
+  std::vector<std::unique_ptr<TzNode>> nodes;
+  nodes.reserve(n);
+  std::vector<congest::ProtocolNode*> ptrs;
+  ptrs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<TzNode>(&shared, v, g.degree(v)));
+    ptrs.push_back(nodes.back().get());
+  }
+
+  congest::EngineOptions eng_opt;
+  eng_opt.threads = protocol.threads;
+  eng_opt.max_rounds = protocol.max_rounds;
+  congest::Engine engine(g, eng_opt);
+  if (protocol.faults != nullptr) engine.schedule(*protocol.faults);
+  const auto run = engine.run(ptrs);
 
   TzConstructionResult result;
-  // The protocol converges to the centralized fixed point; build it first
-  // (this also rejects disconnected graphs the way the protocol would —
-  // a landmark flood that never reaches some node).
-  result.scheme = std::make_unique<schemes::TzScheme>(g, options);
-  const auto dist = graph::DistanceCache::global().get(g);
-  const auto& landmarks = result.scheme->landmarks();
+  result.rounds = run.rounds;
+  result.messages = run.messages;
+  result.message_bits = run.message_bits;
+  result.dropped = run.dropped;
+  result.phase_stats = run.phase_stats;
+  if (run.status != congest::RunStatus::kOk) {
+    result.status = ConstructStatus::kStalled;
+    result.detail = to_string(run.status);
+    account("tz", run, result.status);
+    return result;
+  }
+  merge_flags(nodes, result.status, result.detail);
+
+  // A consistent run has every node holding the same landmark set.
+  std::vector<NodeId> landmarks;
+  for (const auto& [l, e] : nodes.empty() ? std::map<NodeId, TzNode::LmEntry>{}
+                                          : nodes[0]->lm_) {
+    landmarks.push_back(l);
+  }
+  if (result.status == ConstructStatus::kOk) {
+    for (NodeId v = 1; v < n; ++v) {
+      if (nodes[v]->lm_.size() != landmarks.size() ||
+          !std::equal(landmarks.begin(), landmarks.end(),
+                      nodes[v]->lm_.begin(),
+                      [](NodeId l, const auto& kv) { return l == kv.first; })) {
+        result.status = ConstructStatus::kInconsistent;
+        result.detail = "node " + std::to_string(v) +
+                        ": landmark set disagrees with node 0";
+        break;
+      }
+    }
+  }
+  if (result.status != ConstructStatus::kOk) {
+    account("tz", run, result.status);
+    return result;
+  }
+
+  // Assemble each node's serialized table from its learned state — the
+  // same layout TzScheme writes centrally.
+  std::vector<bitio::BitVector> node_bits(n);
+  for (NodeId w = 0; w < n; ++w) {
+    const unsigned port_width =
+        bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+    bitio::BitWriter out;
+    for (const NodeId l : landmarks) {
+      out.write_bits(l == w ? 0 : nodes[w]->lm_.at(l).least_port, port_width);
+    }
+    std::vector<std::pair<NodeId, PortId>> cluster;
+    for (const auto& [v, e] : nodes[w]->ann_) {
+      if (e.in_cluster) cluster.emplace_back(v, e.port);
+    }
+    out.write_bits(cluster.size(), bitio::ceil_log2_plus1(n));
+    for (const auto& [v, port] : cluster) {
+      out.write_bits(v, shared.id_width);
+      out.write_bits(port, port_width);
+    }
+    node_bits[w] = out.take();
+  }
+  try {
+    result.scheme = std::make_unique<schemes::TzScheme>(
+        g, landmarks, std::move(node_bits));
+  } catch (const std::invalid_argument& e) {
+    result.status = ConstructStatus::kInvalidTables;
+    result.detail = e.what();
+    account("tz", run, result.status);
+    return result;
+  }
   result.landmark_count = landmarks.size();
 
-  // Phase 1: every node flips its seeded Bernoulli coin locally — one
-  // round, no traffic.
-  result.rounds = 1;
-
-  // Phase 2: each landmark floods its id over every directed edge; node v
-  // hears landmark l at round d(l, v) and learns d(v, A) plus its port
-  // toward every landmark. The phase lasts the largest landmark
-  // eccentricity.
-  std::size_t flood_rounds = 0;
-  for (const graph::NodeId l : landmarks) {
-    for (graph::NodeId v = 0; v < n; ++v) {
-      flood_rounds = std::max<std::size_t>(flood_rounds, dist->at(l, v));
+  // Learned per-node data the differential tests compare against the
+  // centralized builder.
+  result.landmark_of.resize(n);
+  result.exit_ports.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.landmark_of[v] = nodes[v]->dva_ == 0 ? v : nodes[v]->l_of_;
+    if (nodes[v]->dva_ != 0) {
+      const auto& learned = nodes[result.landmark_of[v]]->exit_learned_;
+      const auto it = learned.find(v);
+      if (it != learned.end()) result.exit_ports[v] = it->second;
     }
   }
-  const std::size_t directed_edges = 2 * g.edge_count();
-  result.rounds += flood_rounds;
-  result.messages += landmarks.size() * directed_edges;
-  result.message_bits += static_cast<std::uint64_t>(landmarks.size()) *
-                         directed_edges * id_width;
 
-  // Phase 3: each node v announces (v, d(v, A)) through its strict ball
-  // { x : d(v, x) < d(v, A) } — exactly the nodes whose cluster gains v.
-  // Nodes within the ball's interior forward over all incident edges; the
-  // phase lasts the largest handoff radius.
-  const unsigned dist_width =
-      bitio::ceil_log2(std::max<std::size_t>(flood_rounds + 2, 2));
-  std::size_t announce_rounds = 0;
-  for (graph::NodeId v = 0; v < n; ++v) {
-    const std::size_t radius = dist->at(v, result.scheme->landmark_of(v));
-    if (radius == 0) continue;  // landmarks announce nothing
-    announce_rounds = std::max<std::size_t>(announce_rounds, radius);
-    std::size_t sent = 0;
-    for (graph::NodeId x = 0; x < n; ++x) {
-      if (dist->at(v, x) < radius) sent += g.degree(x);
-    }
-    result.messages += sent;
-    result.message_bits +=
-        static_cast<std::uint64_t>(sent) * (id_width + dist_width);
+  // Attempt bookkeeping + per-phase rounds for the accepted attempt.
+  const std::size_t raw_attempt = nodes.empty() ? 0 : nodes[0]->attempt_;
+  result.accepted_attempt = raw_attempt >= shared.max_attempts
+                                ? raw_attempt - shared.max_attempts
+                                : raw_attempt;
+  bool degenerate = false;
+  for (const auto& row : run.phase_stats) {
+    if (row.label.rfind("tz.flood degenerate", 0) == 0) degenerate = true;
   }
-  result.rounds += announce_rounds;
+  const std::string suffix =
+      degenerate ? std::string("degenerate")
+                 : "a" + std::to_string(result.accepted_attempt);
+  result.tree_rounds = rounds_for(run.phase_stats, "tz.tree");
+  result.flood_rounds = rounds_for(run.phase_stats, "tz.flood " + suffix);
+  result.announce_rounds =
+      rounds_for(run.phase_stats, "tz.announce " + suffix);
+  result.register_rounds = rounds_for(run.phase_stats, "tz.register");
+  result.audit_rounds = rounds_for(run.phase_stats, "tz.audit");
+  account("tz", run, result.status);
   return result;
 }
 

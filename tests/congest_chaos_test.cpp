@@ -1,0 +1,181 @@
+// Construction chaos: the three CONGEST protocols under seeded fault
+// plans striking mid-flood. The contract mirrors the serving chaos
+// harness (tests/serve_chaos_test.cpp): for every (generator, count,
+// repair, seed) cell the run must either converge to a scheme the
+// verifier certifies or report a typed ConstructStatus — never crash,
+// never hang (the engine's budgets convert stalls into kStalled), and
+// every cell is bit-replayable from its parameters alone, at any thread
+// count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/optrt.hpp"
+#include "net/congest.hpp"
+#include "net/construction.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::TopologyFamily;
+
+constexpr std::size_t kN = 32;
+constexpr std::uint64_t kSeeds = 6;
+
+Graph connected_member(const TopologyFamily& family, std::uint64_t base) {
+  for (std::uint64_t seed = base;; ++seed) {
+    Graph g = family.make(kN, seed);
+    if (graph::is_connected(g)) return g;
+  }
+}
+
+struct Cell {
+  net::FaultModel model;
+  std::size_t count;
+  std::uint64_t repair_after;
+  std::uint64_t seed;
+};
+
+std::vector<Cell> sweep() {
+  std::vector<Cell> cells;
+  for (const auto model : {net::FaultModel::kUniform, net::FaultModel::kTargeted,
+                           net::FaultModel::kPartition}) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{3}}) {
+      for (const std::uint64_t repair : {std::uint64_t{0}, std::uint64_t{2}}) {
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+          cells.push_back({model, count, repair, seed});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+net::FaultPlan plan_for(const Graph& g, const Cell& cell,
+                        std::uint64_t fail_time) {
+  net::FaultOptions opt;
+  opt.seed = cell.seed;
+  opt.fail_time = fail_time;
+  opt.repair_after = cell.repair_after;
+  return net::make_fault_plan(g, cell.model, cell.count, opt);
+}
+
+std::string trace(const Cell& cell) {
+  return std::string(net::to_string(cell.model)) + " count=" +
+         std::to_string(cell.count) + " repair=" +
+         std::to_string(cell.repair_after) + " seed=" +
+         std::to_string(cell.seed);
+}
+
+// --- Compact: one-shot exchange, so any surviving drop is typed -----------
+
+TEST(CongestChaos, CompactConvergesOrReportsTyped) {
+  const Graph g = TopologyFamily::uniform().make(kN, 404);
+  for (const Cell& cell : sweep()) {
+    SCOPED_TRACE(trace(cell));
+    const auto plan = plan_for(g, cell, 1);
+    const auto built =
+        net::distributed_compact_construction(g, {}, {.faults = &plan});
+    const auto again =
+        net::distributed_compact_construction(g, {}, {.faults = &plan,
+                                                      .threads = 8});
+    EXPECT_EQ(built.status, again.status);
+    EXPECT_EQ(built.node_tables, again.node_tables);
+    EXPECT_EQ(built.dropped, again.dropped);
+    if (built.status != net::ConstructStatus::kOk) continue;
+    // Converged: tables must be the centralized ones, stretch exactly 1.
+    const schemes::CompactDiam2Scheme scheme(
+        g, {}, std::vector<bitio::BitVector>(built.node_tables));
+    const auto verdict = model::verify_scheme(g, scheme);
+    EXPECT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.max_stretch, 1.0);
+  }
+}
+
+// --- Full table: mid-flood faults, audited distance vectors ---------------
+
+TEST(CongestChaos, FullTableConvergesOrReportsTyped) {
+  const Graph g = connected_member(TopologyFamily::grid(), 1);
+  for (const Cell& cell : sweep()) {
+    SCOPED_TRACE(trace(cell));
+    const auto plan = plan_for(g, cell, 3);  // strikes mid-flood
+    const auto built =
+        net::distributed_full_table_construction(g, {.faults = &plan});
+    const auto again = net::distributed_full_table_construction(
+        g, {.faults = &plan, .threads = 8});
+    EXPECT_EQ(built.status, again.status);
+    EXPECT_EQ(built.node_tables, again.node_tables);
+    EXPECT_EQ(built.rounds, again.rounds);
+    if (built.status != net::ConstructStatus::kOk) continue;
+    const schemes::FullTableScheme scheme(
+        g, graph::PortAssignment::sorted(g),
+        graph::Labeling::identity(g.node_count()), model::kIAalpha,
+        std::vector<bitio::BitVector>(built.node_tables));
+    const auto verdict = model::verify_scheme(g, scheme);
+    EXPECT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.max_stretch, 1.0);
+  }
+}
+
+// --- TZ: faults across election, floods, and announcements ---------------
+
+TEST(CongestChaos, TzConvergesOrReportsTyped) {
+  for (const auto& family :
+       {TopologyFamily::power_law(2), TopologyFamily::grid()}) {
+    const Graph g = connected_member(family, 406);
+    for (const Cell& cell : sweep()) {
+      SCOPED_TRACE(family.name() + " " + trace(cell));
+      const auto plan = plan_for(g, cell, 4);
+      schemes::TzOptions opt;
+      opt.seed = 17;
+      const auto built =
+          net::distributed_tz_construction(g, opt, {.faults = &plan});
+      const auto again = net::distributed_tz_construction(
+          g, opt, {.faults = &plan, .threads = 8});
+      EXPECT_EQ(built.status, again.status);
+      EXPECT_EQ(built.rounds, again.rounds);
+      EXPECT_EQ(built.dropped, again.dropped);
+      if (built.status != net::ConstructStatus::kOk) {
+        EXPECT_EQ(built.scheme, nullptr);
+        EXPECT_FALSE(std::string(to_string(built.status)).empty());
+        continue;
+      }
+      // Converged under faults: the audit accepted, so the scheme must
+      // certify at the paper's bound.
+      ASSERT_NE(built.scheme, nullptr);
+      ASSERT_NE(again.scheme, nullptr);
+      for (NodeId u = 0; u < g.node_count(); ++u) {
+        EXPECT_EQ(built.scheme->function_bits(u), again.scheme->function_bits(u));
+      }
+      EXPECT_TRUE(model::verify_scheme_stretch(g, *built.scheme, 3.0).ok());
+    }
+  }
+}
+
+// --- Node failures: the harder adversary, same contract -------------------
+
+TEST(CongestChaos, NodeFailuresNeverPassTheAudit) {
+  const Graph g = connected_member(TopologyFamily::grid(), 1);
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE(seed);
+    net::FaultOptions opt;
+    opt.seed = seed;
+    opt.fail_time = 2;  // permanent: the node stays dark through the audit
+    const auto plan = net::uniform_node_faults(g, 1, opt);
+    const auto full =
+        net::distributed_full_table_construction(g, {.faults = &plan});
+    EXPECT_NE(full.status, net::ConstructStatus::kOk);
+    schemes::TzOptions tz_opt;
+    tz_opt.seed = 17;
+    const auto tz = net::distributed_tz_construction(g, tz_opt,
+                                                     {.faults = &plan});
+    EXPECT_NE(tz.status, net::ConstructStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace optrt

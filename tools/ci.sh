@@ -25,7 +25,8 @@ fi
 SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
   faults_test resilience_test obs_test instrumentation_test
   serialization_test chaos_test fuzz_test fastpath_test rank_select_test
-  serve_test serve_chaos_test topology_test tz_test)
+  serve_test serve_chaos_test topology_test tz_test congest_test
+  congest_chaos_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
@@ -52,6 +53,11 @@ for stage in "${STAGES[@]}"; do
     echo "=== [$stage] bench_related_work --smoke ==="
     ./build/bench/bench_related_work --smoke \
       -o build/BENCH_related_work_smoke.json
+    # Smoke-run the CONGEST construction sweep: the three distributed
+    # protocols must verify and meet their analytic round/bit bounds.
+    echo "=== [$stage] bench_construction --smoke ==="
+    ./build/bench/bench_construction --smoke \
+      -o build/BENCH_construction_smoke.json
   fi
 done
 
