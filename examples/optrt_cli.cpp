@@ -11,6 +11,7 @@
 //                      [--failures K | --fail-fraction F] [--fault-model M]
 //                      [--fault-seed S] [--repair-after T] [--policy P]
 //                      [--retries N] [--backoff B] [--serialize-links]
+//                      [--churn SPEC [--repair-lag T]]
 //   optrt_cli sweep    [--ns 16,24,32] [--seeds 3] [--model M]
 //                      [--objective O] [--seed S]
 //   optrt_cli serve    --dir DIR (--socket PATH | --port N)
@@ -40,6 +41,8 @@
 
 #include "core/graph_io.hpp"
 #include "core/optrt.hpp"
+#include "net/churn.hpp"
+#include "schemes/repair.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 
@@ -69,6 +72,10 @@ using namespace optrt;
       "none|retry|deflect|fallback]\n"
       "      [--retries N] [--backoff B] [--serialize-links] "
       "[--batch-routing]\n"
+      "      [--churn MODEL[:EVENTS[,GAP[,QUIESCE]]] [--repair-lag T]]\n"
+      "      (--churn replays a seeded fail/repair stream while the tables\n"
+      "       are incrementally repaired; MODEL = uniform | targeted |\n"
+      "       partition | nodes. Oracle-checked at every quiesce point.)\n"
       "  optrt_cli sweep [--ns 16,24,32] [--seeds 3] [--model II.alpha] "
       "[--objective shortest]\n"
       "  optrt_cli serve --dir DIR (--socket PATH | --port N) [--host H]\n"
@@ -101,6 +108,8 @@ struct Args {
   std::string fault_model = "uniform";
   std::uint64_t fault_seed = 1;
   std::uint64_t repair_after = 0;
+  std::optional<std::string> churn;
+  std::uint64_t repair_lag = 0;
   std::string policy = "none";
   std::uint32_t retries = 4;
   std::uint64_t backoff = 2;
@@ -155,6 +164,10 @@ Args parse(int argc, char** argv) {
       args.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (a == "--repair-after") {
       args.repair_after = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--churn") {
+      args.churn = next();
+    } else if (a == "--repair-lag") {
+      args.repair_lag = std::strtoull(next().c_str(), nullptr, 10);
     } else if (a == "--policy") {
       args.policy = next();
     } else if (a == "--retries") {
@@ -524,6 +537,78 @@ int cmd_simulate(const Args& args) {
   if (!fault_model) usage("unknown fault model " + args.fault_model);
   const auto policy = net::parse_resilience_policy(args.policy);
   if (!policy) usage("unknown resilience policy " + args.policy);
+
+  if (args.churn) {
+    // Churn mode: rebuild the scheme fresh as a repairable of the
+    // artifact's kind, then replay a seeded fail/repair stream against it
+    // under live traffic (the artifact validates the kind; the repairable
+    // maintains its own tables event by event).
+    net::ChurnOptions copt;
+    try {
+      copt = net::ChurnOptions::parse(*args.churn);
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+    copt.seed = args.fault_seed;
+    const schemes::SchemeKind kind =
+        schemes::peek_kind(cli_load_artifact(args.positional[1]));
+    std::string kind_name;
+    switch (kind) {
+      case schemes::SchemeKind::kFullTable:
+        kind_name = "full-table";
+        break;
+      case schemes::SchemeKind::kCompactDiam2:
+        kind_name = "compact-diam2";
+        break;
+      case schemes::SchemeKind::kThorupZwick:
+        kind_name = "tz";
+        break;
+      default:
+        usage(std::string("--churn supports full-table, compact-diam2, and "
+                          "tz artifacts, not ") +
+              schemes::to_string(kind));
+    }
+    const auto rs = schemes::make_repairable(kind_name, g, args.seed);
+    const net::ChurnPlan cplan = net::make_churn_plan(g, copt);
+
+    net::ChurnSessionConfig scfg;
+    scfg.sim.serialize_links = args.serialize_links;
+    scfg.sim.measure_stretch = true;
+    scfg.sim.batch_routing = args.batch_routing;
+    scfg.sim.resilience = {.policy = *policy,
+                           .max_retries = args.retries,
+                           .backoff_base = args.backoff};
+    scfg.repair_lag = args.repair_lag;
+    scfg.messages = args.messages;
+    scfg.traffic_seed = args.seed;
+    const net::ChurnReport report = net::run_churn_session(*rs, cplan, scfg);
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("scheme").value(scheme->name());
+    w.key("churn").value(copt.name());
+    w.key("churn_seed").value(copt.seed);
+    w.key("plan_fingerprint").value(cplan.fingerprint());
+    w.key("repair_lag").value(args.repair_lag);
+    w.key("status").value(net::to_string(report.status));
+    w.key("events").value(static_cast<std::uint64_t>(report.events_applied));
+    w.key("deltas").value(static_cast<std::uint64_t>(report.deltas_applied));
+    w.key("quiesce_points")
+        .value(static_cast<std::uint64_t>(report.quiesce_points));
+    w.key("quiesce_mismatches")
+        .value(static_cast<std::uint64_t>(report.quiesce_mismatches));
+    w.key("stale_sent").value(static_cast<std::uint64_t>(report.stale_sent));
+    w.key("repair_work").value(report.repair.work());
+    w.key("tables_touched").value(report.repair.tables_touched);
+    w.key("dist_rows_bfs").value(report.repair.dist_rows_bfs);
+    w.key("dist_rows_patched").value(report.repair.dist_rows_patched);
+    w.key("patched").value(report.repair.patched);
+    w.key("rebuilt").value(report.repair.rebuilt);
+    net::write_stats_fields(w, report.traffic);
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return report.status == net::ChurnStatus::kMismatch ? 1 : 0;
+  }
 
   std::size_t failures = args.failures;
   if (args.fail_fraction) {

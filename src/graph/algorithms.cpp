@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,13 @@ DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.node_count()) {
   for (NodeId u = 0; u < n_; ++u) {
     auto row = bfs_distances(g, u);
     d_.insert(d_.end(), row.begin(), row.end());
+  }
+}
+
+DistanceMatrix::DistanceMatrix(std::size_t n, std::vector<std::uint32_t> flat)
+    : n_(n), d_(std::move(flat)) {
+  if (d_.size() != n_ * n_) {
+    throw std::invalid_argument("DistanceMatrix: flat size != n*n");
   }
 }
 

@@ -28,6 +28,12 @@ class DistanceMatrix {
  public:
   explicit DistanceMatrix(const Graph& g);
 
+  /// Adopts precomputed distances (row-major n×n, kUnreachable where
+  /// disconnected). The churn repair path maintains distances
+  /// incrementally and snapshots them through this instead of re-running
+  /// all-pairs BFS. Throws std::invalid_argument on a size mismatch.
+  DistanceMatrix(std::size_t n, std::vector<std::uint32_t> flat);
+
   [[nodiscard]] std::uint32_t at(NodeId u, NodeId v) const noexcept {
     return d_[static_cast<std::size_t>(u) * n_ + v];
   }

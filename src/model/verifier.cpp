@@ -186,6 +186,48 @@ StretchVerificationResult verify_scheme_stretch(const graph::Graph& g,
   return result;
 }
 
+std::uint64_t route_fingerprint(const graph::Graph& g,
+                                const RoutingScheme& scheme,
+                                std::size_t hop_budget, std::size_t threads) {
+  if (hop_budget == 0) hop_budget = default_hop_budget(g.node_count());
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;  // FNV-1a
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  const auto fold = [](std::uint64_t h, std::uint64_t x) {
+    return (h ^ x) * kPrime;
+  };
+  core::ThreadPool pool(threads);
+  const auto shards = core::parallel_map<std::uint64_t>(
+      pool, g.node_count(), [&](std::size_t src) {
+        const auto u = static_cast<NodeId>(src);
+        std::uint64_t h = kOffset;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          if (u == v) continue;
+          h = fold(h, (static_cast<std::uint64_t>(u) << 32) | v);
+          const NodeId dest_label = scheme.label_of(v);
+          MessageHeader header;
+          NodeId current = u;
+          std::size_t edges = 0;
+          while (current != v && edges < hop_budget) {
+            const NodeId next = scheme.next_hop(current, dest_label, header);
+            if (next >= g.node_count() || !g.has_edge(current, next)) break;
+            header.came_from = current;
+            current = next;
+            h = fold(h, current);
+            ++edges;
+          }
+          // Sentinel separates "delivered in k hops" from any undelivered
+          // walk sharing a prefix.
+          h = fold(h, current == v ? 1u : 0u);
+        }
+        return h;
+      });
+  // In-order merge: the fingerprint is a pure function of the per-source
+  // hashes in source order, independent of scheduling.
+  std::uint64_t out = core::mix64(0x10f1u ^ g.node_count());
+  for (std::uint64_t h : shards) out = core::mix64(out ^ h);
+  return out;
+}
+
 VerificationResult verify_scheme_serial(const graph::Graph& g,
                                         const RoutingScheme& scheme,
                                         std::size_t hop_budget) {

@@ -78,6 +78,19 @@ struct StretchVerificationResult {
     const graph::Graph& g, const RoutingScheme& scheme,
     std::size_t hop_budget = 0);
 
+/// Order-sensitive 64-bit hash of the full pair space's routes: for every
+/// ordered pair (u, v), u != v, the exact hop sequence the scheme walks
+/// (with a sentinel for undelivered pairs) folded FNV-style. Two schemes
+/// with equal fingerprints route every pair through the identical node
+/// sequence — the equivalence the churn differential oracle uses for TZ,
+/// whose repaired tables are route-equal rather than byte-comparable in
+/// general. Sharded by source with an in-order merge: bit-identical at
+/// any `threads` (0 = core::default_threads()).
+[[nodiscard]] std::uint64_t route_fingerprint(const graph::Graph& g,
+                                              const RoutingScheme& scheme,
+                                              std::size_t hop_budget = 0,
+                                              std::size_t threads = 0);
+
 /// Routes one pair; returns the number of edges traversed, or 0 on failure.
 [[nodiscard]] std::size_t route_once(const graph::Graph& g,
                                      const RoutingScheme& scheme, NodeId src,

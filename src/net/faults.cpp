@@ -162,4 +162,99 @@ std::optional<FaultModel> parse_fault_model(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+LiveTopology::LiveTopology(const graph::Graph& base)
+    : base_(&base),
+      node_failed_(base.node_count(), false),
+      edges_(edge_list(base)) {
+  link_failed_.assign(edges_.size(), false);
+}
+
+std::ptrdiff_t LiveTopology::edge_rank(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                   std::make_pair(u, v));
+  if (it == edges_.end() || *it != std::make_pair(u, v)) return -1;
+  return it - edges_.begin();
+}
+
+bool LiveTopology::node_up(NodeId u) const {
+  return u < node_failed_.size() && !node_failed_[u];
+}
+
+bool LiveTopology::link_live(NodeId u, NodeId v) const {
+  const std::ptrdiff_t rank = edge_rank(u, v);
+  return rank >= 0 && !link_failed_[static_cast<std::size_t>(rank)] &&
+         node_up(u) && node_up(v);
+}
+
+std::size_t LiveTopology::down_link_count() const {
+  std::size_t down = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!link_live(edges_[i].first, edges_[i].second)) ++down;
+  }
+  return down;
+}
+
+graph::Graph LiveTopology::live_graph() const {
+  graph::Graph g(base_->node_count());
+  for (const auto& [u, v] : edges_) {
+    if (link_live(u, v)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+std::vector<model::TopologyEvent> LiveTopology::apply(const FaultEvent& event) {
+  std::vector<model::TopologyEvent> deltas;
+  switch (event.kind) {
+    case FaultKind::kLinkFail: {
+      const std::ptrdiff_t rank = edge_rank(event.u, event.v);
+      // Non-edges and already-failed links are deterministic no-ops.
+      if (rank < 0 || link_failed_[static_cast<std::size_t>(rank)]) break;
+      const bool was_live = link_live(event.u, event.v);
+      link_failed_[static_cast<std::size_t>(rank)] = true;
+      if (was_live) {
+        deltas.push_back({std::min(event.u, event.v),
+                          std::max(event.u, event.v), false});
+      }
+      break;
+    }
+    case FaultKind::kLinkRepair: {
+      const std::ptrdiff_t rank = edge_rank(event.u, event.v);
+      // Repairing a never-failed (or non-existent) link is a no-op.
+      if (rank < 0 || !link_failed_[static_cast<std::size_t>(rank)]) break;
+      link_failed_[static_cast<std::size_t>(rank)] = false;
+      if (link_live(event.u, event.v)) {
+        deltas.push_back({std::min(event.u, event.v),
+                          std::max(event.u, event.v), true});
+      }
+      break;
+    }
+    case FaultKind::kNodeFail: {
+      if (event.u >= node_failed_.size() || node_failed_[event.u]) break;
+      // Collect the links that are live now and die with the node, in
+      // increasing neighbour order (adjacency lists are sorted).
+      for (NodeId v : base_->neighbors(event.u)) {
+        if (link_live(event.u, v)) {
+          deltas.push_back({std::min(event.u, v), std::max(event.u, v),
+                            false});
+        }
+      }
+      node_failed_[event.u] = true;
+      break;
+    }
+    case FaultKind::kNodeRepair: {
+      if (event.u >= node_failed_.size() || !node_failed_[event.u]) break;
+      node_failed_[event.u] = false;
+      for (NodeId v : base_->neighbors(event.u)) {
+        if (link_live(event.u, v)) {
+          deltas.push_back({std::min(event.u, v), std::max(event.u, v),
+                            true});
+        }
+      }
+      break;
+    }
+  }
+  return deltas;
+}
+
 }  // namespace optrt::net

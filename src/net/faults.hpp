@@ -20,6 +20,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "model/repairable.hpp"
 
 namespace optrt::net {
 
@@ -133,5 +134,48 @@ enum class FaultModel : std::uint8_t {
 [[nodiscard]] const char* to_string(FaultModel model) noexcept;
 [[nodiscard]] std::optional<FaultModel> parse_fault_model(
     std::string_view name) noexcept;
+
+/// Link-level view of a graph under a stream of fault events: the base
+/// graph minus explicitly failed links and all links incident to failed
+/// nodes. apply() folds one FaultEvent into the state and returns the
+/// *effective* link-liveness deltas — exactly the model::TopologyEvents a
+/// RepairableScheme consumes.
+///
+/// Edge cases are deterministic no-ops (pinned in faults_test.cpp):
+/// repairing a never-failed link, failing an already-failed link (or
+/// node), failing a non-edge, and duplicate fail/repair at the same tick
+/// all leave the state unchanged and emit no deltas. A link failed both
+/// explicitly and through a node failure stays down until *both* causes
+/// are repaired, and the delta is emitted only when liveness actually
+/// flips.
+class LiveTopology {
+ public:
+  explicit LiveTopology(const graph::Graph& base);
+
+  /// Folds one event in; returns the effective link deltas, each
+  /// lexicographic (u < v), in increasing edge order for node events.
+  std::vector<model::TopologyEvent> apply(const FaultEvent& event);
+
+  /// True iff {u, v} is a base edge, not explicitly failed, and both
+  /// endpoints are up.
+  [[nodiscard]] bool link_live(NodeId u, NodeId v) const;
+  [[nodiscard]] bool node_up(NodeId u) const;
+
+  /// Base edges currently not live.
+  [[nodiscard]] std::size_t down_link_count() const;
+
+  /// Materializes the current live graph (base minus failures).
+  [[nodiscard]] graph::Graph live_graph() const;
+
+  [[nodiscard]] const graph::Graph& base() const noexcept { return *base_; }
+
+ private:
+  const graph::Graph* base_;
+  std::vector<bool> link_failed_;  // indexed by rank in edge_list(base)
+  std::vector<bool> node_failed_;
+  // edge {u<v} → rank in the lexicographic edge list, for O(log m) lookup.
+  [[nodiscard]] std::ptrdiff_t edge_rank(NodeId u, NodeId v) const;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // sorted lexicographic
+};
 
 }  // namespace optrt::net

@@ -1,6 +1,7 @@
 #include "net/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -139,6 +140,28 @@ std::optional<NodeId> Simulator::pick_next_hop(Event& e) {
 }
 
 SimulationStats Simulator::run() {
+  return run_core(std::numeric_limits<std::uint64_t>::max(), true);
+}
+
+SimulationStats Simulator::run_until(std::uint64_t limit) {
+  return run_core(limit, false);
+}
+
+void Simulator::rebind(const model::RoutingScheme& scheme) {
+  scheme_ = &scheme;
+  full_info_ = dynamic_cast<const model::FullInformationRouting*>(&scheme);
+  if (config_.resilience.policy != ResiliencePolicy::kNone) {
+    resilience_ =
+        std::make_unique<ResilienceEngine>(*g_, scheme, config_.resilience);
+  }
+  fast_.reset();
+  if (config_.batch_routing && scheme.stateless_next_hop()) {
+    fast_ = scheme.compile_fast();
+  }
+  obs::MetricsRegistry::global().counter("sim.rebinds").inc();
+}
+
+SimulationStats Simulator::run_core(std::uint64_t limit, bool apply_trailing) {
   SimulationStats stats;
   // The event loop is strictly sequential, so fine-grained increments are
   // as deterministic as the loop itself; all handles target the global
@@ -254,7 +277,7 @@ SimulationStats Simulator::run() {
   };
 
   if (fast_ == nullptr) {
-    while (!queue_.empty()) {
+    while (!queue_.empty() && queue_.top().time < limit) {
       queue_peak = std::max(queue_peak, queue_.size());
       Event e = queue_.top();
       queue_.pop();
@@ -270,7 +293,7 @@ SimulationStats Simulator::run() {
     std::vector<model::RoutePair> pairs;
     std::vector<NodeId> hops;
     std::vector<std::ptrdiff_t> hop_of;  // batch index → pairs index or -1
-    while (!queue_.empty()) {
+    while (!queue_.empty() && queue_.top().time < limit) {
       const std::uint64_t now = queue_.top().time;
       batch.clear();
       while (!queue_.empty() && queue_.top().time == now) {
@@ -310,8 +333,9 @@ SimulationStats Simulator::run() {
     }
   }
   // Topology changes beyond the last message still take effect, so the
-  // post-run link state matches the full plan.
-  if (fault_pos_ < fault_schedule_.size()) {
+  // post-run link state matches the full plan. Sliced runs leave future
+  // faults pending for the next slice instead.
+  if (apply_trailing && fault_pos_ < fault_schedule_.size()) {
     apply_faults_until(fault_schedule_.back().time);
   }
   stats.sent = stats.delivered + stats.dropped;

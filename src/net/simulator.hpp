@@ -126,6 +126,22 @@ class Simulator {
   /// scheduled faults beyond the last message still apply).
   SimulationStats run();
 
+  /// Runs the event loop only for events with time < `limit`, leaving
+  /// later messages queued and later faults unapplied, and returns the
+  /// stats of just this slice (sum slice stats for run()-equivalent
+  /// totals). The churn driver interleaves run_until with table repairs:
+  /// everything strictly before a repair's activation time routes on the
+  /// old (stale) tables, exactly like a real control plane converging
+  /// behind the data plane.
+  SimulationStats run_until(std::uint64_t limit);
+
+  /// Swaps the routing scheme mid-stream (topology fixed): re-resolves
+  /// the full-information capability, rebuilds the resilience engine, and
+  /// recompiles the batching fast path when configured. In-flight
+  /// messages continue with the new tables on their next hop — the
+  /// repaired-table activation point of a churn session.
+  void rebind(const model::RoutingScheme& scheme);
+
   [[nodiscard]] const std::vector<MessageRecord>& records() const noexcept {
     return records_;
   }
@@ -156,6 +172,11 @@ class Simulator {
   /// schemes and fallback mode. Returns nullopt when the message is
   /// blocked (resilience policy decides its fate).
   [[nodiscard]] std::optional<NodeId> pick_next_hop(Event& e);
+
+  /// Shared body of run() / run_until(): processes events with
+  /// time < `limit`; `apply_trailing` replays leftover scheduled faults
+  /// once the queue drains (full run() semantics only).
+  SimulationStats run_core(std::uint64_t limit, bool apply_trailing);
 
   /// Applies every scheduled fault with time ≤ now.
   void apply_faults_until(std::uint64_t now);

@@ -36,38 +36,34 @@ std::size_t TzScheme::cluster_cap(std::size_t n) {
   return static_cast<std::size_t>(std::ceil(4.0 * std::sqrt(nd * std::log(nd))));
 }
 
-TzScheme::TzScheme(const graph::Graph& g, Options options)
-    : n_(g.node_count()), ports_(graph::PortAssignment::sorted(g)) {
-  if (!graph::is_connected(g)) {
-    throw SchemeInapplicable("tz: graph disconnected");
-  }
-  const auto dist_cached = graph::DistanceCache::global().get(g);
-  const graph::DistanceMatrix& dist = *dist_cached;
-
+std::vector<NodeId> tz_sample_landmarks(const graph::Graph& g,
+                                        const graph::DistanceMatrix& dist,
+                                        const TzOptions& options) {
   // Sample A with per-node probability √(ln n / n), tilted by normalized
   // degree (p_v ∝ deg(v), E|A| unchanged): the stretch-3 argument only
   // needs l(v) to be v's nearest landmark, so A is a free choice, and on
   // power-law graphs degree-biased landmarks sit on most shortest paths
   // (Krioukov et al.) — on regular graphs the tilt is a no-op. Resample
   // while A is empty or a cluster breaks the 4√(n ln n) cap, keeping the
-  // best sample seen so the constructor is total and deterministic in
-  // the seed.
+  // best sample seen so the election is total and deterministic in the
+  // seed.
+  const std::size_t n = g.node_count();
   const double p =
-      n_ >= 2 ? std::min(1.0, std::sqrt(std::log(static_cast<double>(n_)) /
-                                        static_cast<double>(n_)))
-              : 1.0;
+      n >= 2 ? std::min(1.0, std::sqrt(std::log(static_cast<double>(n)) /
+                                       static_cast<double>(n)))
+             : 1.0;
   const double avg_degree =
-      n_ > 0 ? 2.0 * static_cast<double>(g.edge_count()) /
-                   static_cast<double>(n_)
-             : 0.0;
-  std::vector<double> p_node(n_, p);
+      n > 0 ? 2.0 * static_cast<double>(g.edge_count()) /
+                  static_cast<double>(n)
+            : 0.0;
+  std::vector<double> p_node(n, p);
   if (avg_degree > 0.0) {
-    for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId v = 0; v < n; ++v) {
       p_node[v] =
           std::min(1.0, p * static_cast<double>(g.degree(v)) / avg_degree);
     }
   }
-  const std::size_t cap = cluster_cap(n_);
+  const std::size_t cap = TzScheme::cluster_cap(n);
   graph::Rng rng(options.seed);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::vector<NodeId> best;
@@ -76,18 +72,18 @@ TzScheme::TzScheme(const graph::Graph& g, Options options)
   const std::size_t attempts = std::max<std::size_t>(options.max_resamples, 1);
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     std::vector<NodeId> sample;
-    for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId v = 0; v < n; ++v) {
       if (unit(rng) < p_node[v]) sample.push_back(v);
     }
     if (sample.empty()) {
       ++resamples;
       continue;
     }
-    const auto dva = dist_to_set(dist, n_, sample);
+    const auto dva = dist_to_set(dist, n, sample);
     std::size_t max_cluster = 0;
-    for (NodeId w = 0; w < n_; ++w) {
+    for (NodeId w = 0; w < n; ++w) {
       std::size_t size = 0;
-      for (NodeId v = 0; v < n_; ++v) {
+      for (NodeId v = 0; v < n; ++v) {
         if (v != w && dist.at(w, v) < dva[v]) ++size;
       }
       max_cluster = std::max(max_cluster, size);
@@ -100,8 +96,54 @@ TzScheme::TzScheme(const graph::Graph& g, Options options)
     ++resamples;
   }
   if (best.empty()) best.push_back(0);  // degenerate fallback: node 0
-  landmarks_ = std::move(best);         // ascending by construction
   obs::counter("schemes.tz.resamples").inc(resamples);
+  return best;  // ascending by construction
+}
+
+bitio::BitVector tz_build_node_bits(const graph::Graph& g,
+                                    const graph::DistanceMatrix& dist,
+                                    const graph::PortAssignment& ports,
+                                    const std::vector<NodeId>& landmarks,
+                                    const std::vector<std::uint32_t>& dva,
+                                    NodeId w) {
+  const std::size_t n = g.node_count();
+  const unsigned id_width = bitio::ceil_log2(std::max<std::size_t>(n, 2));
+  const unsigned port_width =
+      bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
+  bitio::BitWriter out;
+  // (a) next hop toward every landmark (own entry unused at a landmark
+  // itself; store 0).
+  for (NodeId l : landmarks) {
+    graph::PortId port = 0;
+    if (l != w) {
+      const auto succ = graph::shortest_path_successors(g, dist, w, l);
+      port = ports.port_of(w, succ.front());
+    }
+    out.write_bits(port, port_width);
+  }
+  // (b) cluster table: v with d(w, v) < d(v, A), strictly.
+  std::vector<NodeId> cluster;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != w && dist.at(w, v) < dva[v]) cluster.push_back(v);
+  }
+  out.write_bits(cluster.size(), bitio::ceil_log2_plus1(n));
+  for (NodeId v : cluster) {
+    const auto succ = graph::shortest_path_successors(g, dist, w, v);
+    out.write_bits(v, id_width);
+    out.write_bits(ports.port_of(w, succ.front()), port_width);
+  }
+  return out.take();
+}
+
+TzScheme::TzScheme(const graph::Graph& g, Options options)
+    : n_(g.node_count()), ports_(graph::PortAssignment::sorted(g)) {
+  if (!graph::is_connected(g)) {
+    throw SchemeInapplicable("tz: graph disconnected");
+  }
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  const graph::DistanceMatrix& dist = *dist_cached;
+
+  landmarks_ = tz_sample_landmarks(g, dist, options);
 
   landmark_index_.assign(n_, 0);
   for (std::uint32_t i = 0; i < landmarks_.size(); ++i) {
@@ -127,29 +169,7 @@ TzScheme::TzScheme(const graph::Graph& g, Options options)
   for (NodeId w = 0; w < n_; ++w) {
     const unsigned port_width =
         bitio::ceil_log2(std::max<std::size_t>(g.degree(w), 1));
-    bitio::BitWriter out;
-    // (a) next hop toward every landmark (own entry unused at a landmark
-    // itself; store 0).
-    for (NodeId l : landmarks_) {
-      graph::PortId port = 0;
-      if (l != w) {
-        const auto succ = graph::shortest_path_successors(g, dist, w, l);
-        port = ports_.port_of(w, succ.front());
-      }
-      out.write_bits(port, port_width);
-    }
-    // (b) cluster table: v with d(w, v) < d(v, A), strictly.
-    std::vector<NodeId> cluster;
-    for (NodeId v = 0; v < n_; ++v) {
-      if (v != w && dist.at(w, v) < dva[v]) cluster.push_back(v);
-    }
-    out.write_bits(cluster.size(), bitio::ceil_log2_plus1(n_));
-    for (NodeId v : cluster) {
-      const auto succ = graph::shortest_path_successors(g, dist, w, v);
-      out.write_bits(v, id_width);
-      out.write_bits(ports_.port_of(w, succ.front()), port_width);
-    }
-    function_bits_[w] = out.take();
+    function_bits_[w] = tz_build_node_bits(g, dist, ports_, landmarks_, dva, w);
 
     // Honest read-back.
     bitio::BitReader r(function_bits_[w]);
@@ -168,7 +188,7 @@ TzScheme::TzScheme(const graph::Graph& g, Options options)
           static_cast<graph::PortId>(r.read_bits(port_width));
     }
   }
-  finish_build(g);
+  finish_build(g, dist);
 }
 
 TzScheme::TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
@@ -176,6 +196,23 @@ TzScheme::TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
     : n_(g.node_count()),
       ports_(graph::PortAssignment::sorted(g)),
       landmarks_(std::move(landmarks)) {
+  // Nearest landmarks are a deterministic function of the graph.
+  const auto dist_cached = graph::DistanceCache::global().get(g);
+  init_from_bits(g, std::move(node_bits), *dist_cached);
+}
+
+TzScheme::TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
+                   std::vector<bitio::BitVector> node_bits,
+                   const graph::DistanceMatrix& dist)
+    : n_(g.node_count()),
+      ports_(graph::PortAssignment::sorted(g)),
+      landmarks_(std::move(landmarks)) {
+  init_from_bits(g, std::move(node_bits), dist);
+}
+
+void TzScheme::init_from_bits(const graph::Graph& g,
+                              std::vector<bitio::BitVector> node_bits,
+                              const graph::DistanceMatrix& dist) {
   if (node_bits.size() != n_ || landmarks_.empty()) {
     throw std::invalid_argument("TzScheme: bad serialized state");
   }
@@ -187,9 +224,6 @@ TzScheme::TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
     }
     landmark_index_[landmarks_[i]] = i;
   }
-  // Nearest landmarks are a deterministic function of the graph.
-  const auto dist_cached = graph::DistanceCache::global().get(g);
-  const graph::DistanceMatrix& dist = *dist_cached;
   landmark_of_.assign(n_, landmarks_[0]);
   for (NodeId v = 0; v < n_; ++v) {
     std::uint32_t bst = graph::kUnreachable;
@@ -243,12 +277,11 @@ TzScheme::TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
       throw std::invalid_argument("TzScheme: trailing bits in a node table");
     }
   }
-  finish_build(g);
+  finish_build(g, dist);
 }
 
-void TzScheme::finish_build(const graph::Graph& g) {
-  const auto dist_cached = graph::DistanceCache::global().get(g);
-  const graph::DistanceMatrix& dist = *dist_cached;
+void TzScheme::finish_build(const graph::Graph& g,
+                            const graph::DistanceMatrix& dist) {
   // Label exit ports: at l(v), the port toward v (least shortest-path
   // successor) — the third component of the charged (v, l(v), port) label.
   exit_port_.assign(n_, 0);

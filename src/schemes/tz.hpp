@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bitio/bit_vector.hpp"
+#include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/ports.hpp"
@@ -41,6 +42,25 @@ struct TzOptions {
   std::size_t max_resamples = 32;
 };
 
+/// The landmark election, factored out of the constructor so incremental
+/// repair (schemes/repair.hpp) can replay it against maintained distances:
+/// a pure function of (degrees, dist, options) with a draw sequence pinned
+/// by tz_test — identical inputs yield the identical sorted landmark set
+/// the TzScheme constructor would sample.
+[[nodiscard]] std::vector<NodeId> tz_sample_landmarks(
+    const graph::Graph& g, const graph::DistanceMatrix& dist,
+    const TzOptions& options);
+
+/// Serializes one node's TZ table (landmark ports, then the strict-cluster
+/// id/port list) from explicit inputs — the byte layout the constructor
+/// writes and next_hop decodes. `dva[v]` must be d(v, A) for the given
+/// landmark set. Shared by the constructor and the churn repair path, so a
+/// patched table is byte-identical to a fresh build by construction.
+[[nodiscard]] bitio::BitVector tz_build_node_bits(
+    const graph::Graph& g, const graph::DistanceMatrix& dist,
+    const graph::PortAssignment& ports, const std::vector<NodeId>& landmarks,
+    const std::vector<std::uint32_t>& dva, NodeId w);
+
 class TzScheme final : public model::RoutingScheme {
  public:
   using Options = TzOptions;
@@ -54,6 +74,13 @@ class TzScheme final : public model::RoutingScheme {
   /// recomputed from the graph (deterministic: least id on ties).
   TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
            std::vector<bitio::BitVector> node_bits);
+
+  /// Same reconstruction, but against caller-supplied distances instead of
+  /// DistanceCache::global() — the churn repair path maintains its own
+  /// incrementally patched matrix and must not pay a full BFS per event.
+  TzScheme(const graph::Graph& g, std::vector<NodeId> landmarks,
+           std::vector<bitio::BitVector> node_bits,
+           const graph::DistanceMatrix& dist);
 
   [[nodiscard]] std::string name() const override { return "tz"; }
   [[nodiscard]] model::Model routing_model() const override {
@@ -95,8 +122,13 @@ class TzScheme final : public model::RoutingScheme {
     std::vector<graph::PortId> cluster_port;   // aligned
   };
 
-  /// Shared tail of both constructors: exit ports, bunch sizes, metrics.
-  void finish_build(const graph::Graph& g);
+  /// Shared body of the deserializing constructors.
+  void init_from_bits(const graph::Graph& g,
+                      std::vector<bitio::BitVector> node_bits,
+                      const graph::DistanceMatrix& dist);
+
+  /// Shared tail of all constructors: exit ports, bunch sizes, metrics.
+  void finish_build(const graph::Graph& g, const graph::DistanceMatrix& dist);
 
   std::size_t n_;
   graph::PortAssignment ports_;

@@ -122,8 +122,11 @@ LoadReport ArtifactStore::load() {
 
   if (report.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
+    fresh->epoch = next_epoch_++;
     catalog_ = std::move(fresh);
     obs::counter("serve.reloads").inc();
+    obs::gauge("serve.catalog_epoch").set(
+        static_cast<std::int64_t>(catalog_->epoch));
     obs::gauge("serve.artifacts").set(
         static_cast<std::int64_t>(catalog_->artifacts.size()));
   } else {

@@ -44,6 +44,12 @@ struct ServedArtifact {
 /// An immutable snapshot of every served artifact. Shared by reference
 /// count between the store and any request currently answering from it.
 struct Catalog {
+  /// Monotone swap generation: 0 for the pre-load empty catalog, then
+  /// incremented once per successful load(). Answers computed from one
+  /// shared_ptr all carry the same epoch, so the reload-storm test can
+  /// pin "never torn": every batch matches exactly one epoch's oracle.
+  /// Not part of the ORTP wire format.
+  std::uint64_t epoch = 0;
   std::vector<std::unique_ptr<ServedArtifact>> artifacts;  ///< index == id
 
   [[nodiscard]] const ServedArtifact* find(std::uint32_t id) const noexcept {
@@ -95,6 +101,7 @@ class ArtifactStore {
  private:
   std::string directory_;
   mutable std::mutex mu_;
+  std::uint64_t next_epoch_ = 1;  ///< epoch the next successful swap gets
   std::shared_ptr<const Catalog> catalog_ = std::make_shared<Catalog>();
 };
 

@@ -1,0 +1,167 @@
+// Churn chaos harness: a seeded sweep over {scheme kind} × {churn model}
+// × {churn rate} × {seed} cells, each replaying a full churn session.
+// Every cell must end in a definite, typed state: `certified` (all
+// quiesce oracle checks passed and the final scheme additionally passes
+// the full routing verifier — stretch-bounded for TZ), or `stale` (the
+// scheme is inapplicable for the final topology, with fresh-build parity
+// established by the oracle). A `mismatch` anywhere fails the sweep.
+// The per-cell serialized report lines are compared across 1 and 8
+// oracle threads — the chaos layer's determinism contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/optrt.hpp"
+#include "net/churn.hpp"
+#include "schemes/errors.hpp"
+#include "schemes/repair.hpp"
+
+namespace optrt {
+namespace {
+
+using graph::Graph;
+using graph::TopologyFamily;
+
+Graph connected_member(const TopologyFamily& family, std::size_t n,
+                       std::uint64_t base) {
+  for (std::uint64_t seed = base;; ++seed) {
+    Graph g = family.make(n, seed);
+    if (graph::is_connected(g)) return g;
+  }
+}
+
+/// One serialized report row — every field deterministic, so rows must be
+/// string-identical across oracle thread counts.
+std::string report_line(const std::string& cell, const net::ChurnReport& r) {
+  std::ostringstream os;
+  os << cell << " status=" << net::to_string(r.status)
+     << " events=" << r.events_applied << " deltas=" << r.deltas_applied
+     << " quiesce=" << r.quiesce_points << "/" << r.quiesce_mismatches
+     << " work=" << r.repair.work() << " stale_sent=" << r.stale_sent
+     << " delivered=" << r.traffic.delivered << "/" << r.traffic.sent
+     << " hops=" << r.traffic.total_hops;
+  return os.str();
+}
+
+TEST(ChurnChaos, EveryCellEndsCertifiedOrTyped) {
+  struct Cell {
+    const char* kind;
+    const char* family;
+  };
+  // compact-diam2 only exists on the dense family; full-table and TZ run
+  // everywhere.
+  const Cell cells[] = {
+      {"full-table", "uniform"}, {"compact-diam2", "uniform"},
+      {"tz", "uniform"},         {"full-table", "ba:2"},
+      {"tz", "ba:2"},
+  };
+  const net::FaultModel models[] = {net::FaultModel::kUniform,
+                                    net::FaultModel::kTargeted,
+                                    net::FaultModel::kPartition};
+  const std::uint64_t gaps[] = {1, 4};  // churn rate: frantic vs relaxed
+  const std::uint64_t seeds[] = {1, 2};
+
+  std::vector<std::string> lines[2];  // [0]: 1 thread, [1]: 8 threads
+  std::size_t certified = 0;
+  std::size_t stale = 0;
+
+  for (const Cell& cell : cells) {
+    const Graph g =
+        connected_member(TopologyFamily::parse(cell.family), 18, 13);
+    for (const net::FaultModel model : models) {
+      for (const std::uint64_t gap : gaps) {
+        for (const std::uint64_t seed : seeds) {
+          const std::string name = std::string(cell.kind) + "/" +
+                                   cell.family + "/" +
+                                   net::to_string(model) + "/g" +
+                                   std::to_string(gap) + "/s" +
+                                   std::to_string(seed);
+          SCOPED_TRACE(name);
+          net::ChurnOptions copt;
+          copt.seed = seed;
+          copt.model = model;
+          copt.events = 12;
+          copt.mean_gap = gap;
+          copt.quiesce_every = 4;
+          const net::ChurnPlan plan = net::make_churn_plan(g, copt);
+
+          for (const std::size_t pass : {0u, 1u}) {
+            auto rs = schemes::make_repairable(cell.kind, g, 7);
+            net::ChurnSessionConfig cfg;
+            cfg.threads = pass == 0 ? 1 : 8;
+            cfg.messages = 24;
+            const net::ChurnReport r = net::run_churn_session(*rs, plan, cfg);
+
+            // Typed terminal state: never a mismatch, never unverified.
+            ASSERT_NE(r.status, net::ChurnStatus::kMismatch)
+                << r.first_mismatch;
+            ASSERT_NE(r.status, net::ChurnStatus::kUnverified);
+            lines[pass].push_back(report_line(name, r));
+            if (pass != 0) continue;
+
+            if (r.status == net::ChurnStatus::kCertified) {
+              ++certified;
+              // Certification is end-to-end: the final scheme must also
+              // pass the full routing verifier on the final topology —
+              // stretch ≤ 3 for TZ, exact delivery for the rest.
+              const Graph& live = rs->topology();
+              if (std::string(cell.kind) == "tz") {
+                const auto v =
+                    model::verify_scheme_stretch(live, rs->scheme(), 3.0);
+                EXPECT_TRUE(v.ok()) << name;
+              } else {
+                const auto v = model::verify_scheme(live, rs->scheme());
+                EXPECT_TRUE(v.ok()) << name;
+              }
+            } else {
+              ++stale;
+              EXPECT_FALSE(rs->available());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Determinism across oracle thread counts: identical serialized rows.
+  ASSERT_EQ(lines[0].size(), lines[1].size());
+  for (std::size_t i = 0; i < lines[0].size(); ++i) {
+    EXPECT_EQ(lines[0][i], lines[1][i]);
+  }
+  // The sweep must actually exercise the happy path; connectivity-
+  // preserving link churn keeps most cells certifiable.
+  EXPECT_GT(certified, 0u);
+  SUCCEED() << certified << " certified, " << stale << " stale";
+}
+
+TEST(ChurnChaos, NodeChurnDisconnectsAndRecoversWithTypedStatuses) {
+  // Node churn deliberately drops connectivity preservation: TZ must ride
+  // through disconnection as `stale` (fresh-build parity held by the
+  // oracle) and full-table — which exists on any topology — must stay
+  // certified throughout.
+  const Graph g = connected_member(TopologyFamily::parse("ba:2"), 16, 3);
+  for (const char* kind : {"full-table", "tz"}) {
+    SCOPED_TRACE(kind);
+    net::ChurnOptions copt;
+    copt.model = net::FaultModel::kNodes;
+    copt.events = 10;
+    copt.mean_gap = 2;
+    copt.quiesce_every = 2;
+    copt.max_down = 2;
+    const net::ChurnPlan plan = net::make_churn_plan(g, copt);
+    auto rs = schemes::make_repairable(kind, g, 5);
+    net::ChurnSessionConfig cfg;
+    cfg.messages = 24;
+    const net::ChurnReport r = net::run_churn_session(*rs, plan, cfg);
+    ASSERT_NE(r.status, net::ChurnStatus::kMismatch) << r.first_mismatch;
+    if (std::string(kind) == "full-table") {
+      EXPECT_EQ(r.status, net::ChurnStatus::kCertified);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optrt

@@ -38,9 +38,11 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t value) {
   return h;
 }
 
-/// FNV over every ordered pair's full hop sequence.
-std::uint64_t route_fingerprint(const graph::Graph& g,
-                                const model::RoutingScheme& scheme) {
+/// FNV over every ordered pair's full hop sequence. (Named distinctly from
+/// model::route_fingerprint, which ADL would otherwise find via the scheme's
+/// base class and make the call ambiguous.)
+std::uint64_t pairwise_route_fingerprint(const graph::Graph& g,
+                                         const model::RoutingScheme& scheme) {
   const std::size_t n = g.node_count();
   std::uint64_t outer = kFnvBasis;
   for (NodeId u = 0; u < n; ++u) {
@@ -170,8 +172,8 @@ TEST(CongestDifferential, TzMatchesCentralizedAcrossFamilies) {
           << "dest " << v;
     }
 
-    EXPECT_EQ(route_fingerprint(g, *built.scheme),
-              route_fingerprint(g, central));
+    EXPECT_EQ(pairwise_route_fingerprint(g, *built.scheme),
+              pairwise_route_fingerprint(g, central));
     EXPECT_TRUE(model::verify_scheme_stretch(g, *built.scheme, 3.0).ok());
   }
 }

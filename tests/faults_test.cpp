@@ -226,6 +226,86 @@ TEST(FaultModelNames, RoundTrip) {
   EXPECT_FALSE(parse_fault_model("meteor").has_value());
 }
 
+// --- LiveTopology edge-case pins (the churn layer's event expander) -------
+
+TEST(LiveTopology, RepairingANeverFailedLinkIsADeterministicNoOp) {
+  const Graph g = certified(12, 3);
+  const auto edges = edge_list(g);
+  LiveTopology live(g);
+  // Repair of a live link, twice, plus repair of a non-edge: no deltas,
+  // no state change.
+  const auto [u, v] = edges.front();
+  EXPECT_TRUE(live.apply({1, FaultKind::kLinkRepair, u, v}).empty());
+  EXPECT_TRUE(live.apply({1, FaultKind::kLinkRepair, u, v}).empty());
+  EXPECT_TRUE(live.apply({1, FaultKind::kLinkRepair, u, u}).empty());
+  EXPECT_EQ(live.down_link_count(), 0u);
+  EXPECT_TRUE(live.link_live(u, v));
+}
+
+TEST(LiveTopology, DuplicateFailAndRepairAtTheSameTickAreNoOps) {
+  const Graph g = certified(12, 3);
+  const auto [u, v] = edge_list(g).front();
+  LiveTopology live(g);
+
+  // First fail emits exactly one down delta; the same-tick duplicate is
+  // swallowed.
+  auto deltas = live.apply({5, FaultKind::kLinkFail, u, v});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front(), (model::TopologyEvent{u, v, false}));
+  EXPECT_TRUE(live.apply({5, FaultKind::kLinkFail, u, v}).empty());
+  EXPECT_EQ(live.down_link_count(), 1u);
+
+  // Same for repair: one up delta, then a same-tick duplicate no-op.
+  deltas = live.apply({5, FaultKind::kLinkRepair, u, v});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front(), (model::TopologyEvent{u, v, true}));
+  EXPECT_TRUE(live.apply({5, FaultKind::kLinkRepair, u, v}).empty());
+  EXPECT_EQ(live.down_link_count(), 0u);
+
+  // Node events: duplicate fail and duplicate repair are no-ops too.
+  const auto first = live.apply({6, FaultKind::kNodeFail, u, u});
+  EXPECT_EQ(first.size(), g.degree(u));
+  EXPECT_TRUE(live.apply({6, FaultKind::kNodeFail, u, u}).empty());
+  EXPECT_EQ(live.apply({7, FaultKind::kNodeRepair, u, u}).size(), first.size());
+  EXPECT_TRUE(live.apply({7, FaultKind::kNodeRepair, u, u}).empty());
+}
+
+TEST(LiveTopology, FailingANonEdgeIsANoOp) {
+  // A 4-ring: {0,2} and {1,3} are non-edges.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  LiveTopology live(g);
+  EXPECT_TRUE(live.apply({1, FaultKind::kLinkFail, 0, 2}).empty());
+  EXPECT_TRUE(live.apply({1, FaultKind::kLinkFail, 1, 3}).empty());
+  EXPECT_EQ(live.down_link_count(), 0u);
+  EXPECT_EQ(live.live_graph().edge_count(), 4u);
+}
+
+TEST(LiveTopology, DoublyFailedLinkNeedsBothRepairs) {
+  // A link failed explicitly *and* via its endpoint's node failure only
+  // comes back up when both causes are repaired, and the up delta is
+  // emitted exactly once — at the flip.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  LiveTopology live(g);
+  ASSERT_EQ(live.apply({1, FaultKind::kLinkFail, 0, 1}).size(), 1u);
+  // Node 0 fails: {0,1} is already down, so no further delta for it.
+  EXPECT_TRUE(live.apply({2, FaultKind::kNodeFail, 0, 0}).empty());
+  // Repairing the link while node 0 is down flips nothing yet.
+  EXPECT_TRUE(live.apply({3, FaultKind::kLinkRepair, 0, 1}).empty());
+  EXPECT_FALSE(live.link_live(0, 1));
+  // Node repair is the second (last) cause to clear: now the delta fires.
+  const auto deltas = live.apply({4, FaultKind::kNodeRepair, 0, 0});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front(), (model::TopologyEvent{0, 1, true}));
+  EXPECT_TRUE(live.link_live(0, 1));
+  EXPECT_EQ(live.down_link_count(), 0u);
+}
+
 TEST(FaultPlan, TargetedAttackHitsHighestDegreeEdges) {
   const Graph g = graph::star(8);  // hub 0: all edges share the hub
   const FaultPlan plan = targeted_link_faults(g, 3, {.seed = 1});

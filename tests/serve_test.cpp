@@ -461,6 +461,91 @@ TEST(ServeServer, HotReloadMidStreamDropsNothing) {
   EXPECT_GT(matched_b, 0u);
 }
 
+TEST(ServeServer, ReloadStormMidStreamNeverServesATornCatalog) {
+  // The SIGHUP-storm scenario (optrtd maps SIGHUP to exactly this
+  // store.load() path): N rapid artifact swaps while a querier streams
+  // batches. Every batch must answer entirely from one catalog — all
+  // hops matching one artifact's oracle, never a mix — and zero requests
+  // may drop. The catalog epoch pins the swap count: monotone, one
+  // increment per successful reload.
+  const Graph g = certified(40, 2024);
+  const auto n = static_cast<NodeId>(g.node_count());
+  TempDir dir;
+  const schemes::FullTableScheme scheme_a = schemes::FullTableScheme::standard(g);
+  const schemes::HubScheme scheme_b(g);
+  core::save_graph(dir.file("g0.eg"), g);
+  schemes::save_artifact(dir.file("g0.ort"), schemes::serialize(scheme_a));
+
+  std::vector<serve::QueryPair> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) pairs.push_back({u, v});
+    }
+  }
+  const auto oracle_of = [&](const model::RoutingScheme& s) {
+    std::vector<NodeId> hops(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      model::MessageHeader header;
+      hops[i] = s.next_hop(pairs[i].src, s.label_of(pairs[i].dst), header);
+    }
+    return hops;
+  };
+  const std::vector<NodeId> oracle_a = oracle_of(scheme_a);
+  const std::vector<NodeId> oracle_b = oracle_of(scheme_b);
+  ASSERT_NE(oracle_a, oracle_b);
+
+  serve::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.load().ok());
+  EXPECT_EQ(store.catalog()->epoch, 1u);
+  Harness harness(store);
+
+  std::atomic<bool> stop{false};
+  std::size_t batches = 0;
+  std::size_t matched_a = 0;
+  std::size_t matched_b = 0;
+  std::string failure;
+  std::thread querier([&, client = harness.client()]() mutable {
+    while (!stop.load()) {
+      std::vector<NodeId> hops;
+      try {
+        hops = client.next_hops(0, pairs);
+      } catch (const std::exception& e) {
+        failure = e.what();
+        return;
+      }
+      ++batches;
+      if (hops == oracle_a) {
+        ++matched_a;
+      } else if (hops == oracle_b) {
+        ++matched_b;
+      } else {
+        failure = "torn catalog: a batch matched neither oracle";
+        return;
+      }
+    }
+  });
+
+  // The storm: 16 swaps alternating the artifact under the live stream,
+  // each followed by an immediate reload over its own admin connection.
+  constexpr std::size_t kSwaps = 16;
+  for (std::size_t i = 0; i < kSwaps; ++i) {
+    schemes::save_artifact(
+        dir.file("g0.ort"),
+        i % 2 == 0 ? schemes::serialize(scheme_b) : schemes::serialize(scheme_a));
+    serve::Client admin = harness.client();
+    EXPECT_EQ(admin.reload(), 1u);
+    EXPECT_EQ(store.catalog()->epoch, i + 2) << "epoch must track every swap";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  querier.join();
+
+  EXPECT_TRUE(failure.empty()) << failure;
+  EXPECT_GT(batches, 0u);
+  EXPECT_EQ(matched_a + matched_b, batches) << "every batch answered whole";
+  EXPECT_EQ(store.catalog()->epoch, kSwaps + 1);
+}
+
 // ---- Pinned serve.* counter deltas ---------------------------------------
 
 TEST(ServeServer, CounterDeltasArePinned) {
@@ -548,6 +633,7 @@ TEST(ServeStore, FailedReloadKeepsTheOldCatalog) {
   EXPECT_EQ(bad.failures[0].path, dir.file("g0.ort"));
   EXPECT_EQ(serve::format_load_failure(bad.failures[0]).rfind("error: ", 0), 0u);
   EXPECT_EQ(store.catalog(), catalog) << "failed reload must not swap";
+  EXPECT_EQ(store.catalog()->epoch, 1u) << "epoch counts successful swaps only";
 }
 
 }  // namespace

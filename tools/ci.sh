@@ -7,7 +7,8 @@
 # selection with `ctest -L faults`, the artifact-corruption suites
 # (seeded chaos harness + CLI integrity checks) with `ctest -L chaos`,
 # and the serving-daemon suites (wire protocol, accept loop, hot reload)
-# with `ctest -L serve`.
+# with `ctest -L serve`. The live-churn repair suites (incremental-repair
+# differential oracle + churn chaos sweep) answer to `ctest -L churn`.
 #
 #   tools/ci.sh            # default + tsan + asan
 #   tools/ci.sh default    # just one stage
@@ -26,7 +27,7 @@ SANITIZED_TARGETS=(parallel_test distance_cache_test verifier_test
   faults_test resilience_test obs_test instrumentation_test
   serialization_test chaos_test fuzz_test fastpath_test rank_select_test
   serve_test serve_chaos_test topology_test tz_test congest_test
-  congest_chaos_test)
+  congest_chaos_test churn_test churn_chaos_test)
 
 for stage in "${STAGES[@]}"; do
   echo "=== [$stage] configure ==="
@@ -58,6 +59,11 @@ for stage in "${STAGES[@]}"; do
     echo "=== [$stage] bench_construction --smoke ==="
     ./build/bench/bench_construction --smoke \
       -o build/BENCH_construction_smoke.json
+    # Smoke-run the churn-repair sweep: every quiesce point must match a
+    # fresh centralized build and incremental repair must beat the
+    # rebuild baseline on at least one family (nonzero exit if not).
+    echo "=== [$stage] bench_churn --smoke ==="
+    ./build/bench/bench_churn --smoke -o build/BENCH_churn_smoke.json
   fi
 done
 
